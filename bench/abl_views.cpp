@@ -1,0 +1,93 @@
+// Ablation: pooled view allocation (Hoard-style per-worker caches, what the
+// runtime uses) vs plain heap new/delete for view-sized objects. View
+// creation dominates Cilk-M's reduce overhead (paper Figure 8), so this is
+// the allocation path the runtime optimises. Also measures the end-to-end
+// effect: reduce overhead of add-n with many steals, which stresses view
+// creation/destruction.
+//
+//   ./abl_views [--reps R]
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "util/pool_alloc.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+void keep(void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+double time_alloc_cycle(int iters, bool pooled, std::size_t bytes) {
+  auto& pool = cilkm::ViewPool::instance();
+  std::vector<void*> held(64, nullptr);
+  const auto t0 = cilkm::now_ns();
+  for (int i = 0; i < iters; ++i) {
+    const std::size_t k = static_cast<std::size_t>(i) & 63;
+    if (held[k] != nullptr) {
+      if (pooled) {
+        pool.deallocate(held[k], bytes);
+      } else {
+        ::operator delete(held[k]);
+      }
+    }
+    held[k] = pooled ? pool.allocate(bytes) : ::operator new(bytes);
+    keep(held[k]);
+  }
+  for (auto& p : held) {
+    if (p != nullptr) {
+      if (pooled) {
+        pool.deallocate(p, bytes);
+      } else {
+        ::operator delete(p);
+      }
+      p = nullptr;
+    }
+  }
+  const auto t1 = cilkm::now_ns();
+  return static_cast<double>(t1 - t0) / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = static_cast<int>(bench::flag_int(argc, argv, "--reps", 5));
+  const int iters = 200000;
+
+  std::printf("# Ablation: view allocation, Hoard-style pool vs heap "
+              "(ns per alloc/free cycle, %d iterations)\n",
+              iters);
+  std::printf("%-10s %12s %12s %10s\n", "view-bytes", "pool (ns)", "heap (ns)",
+              "speedup");
+  for (const std::size_t bytes : {16ul, 32ul, 64ul, 128ul, 256ul}) {
+    double pool_ns = 0, heap_ns = 0;
+    for (int r = 0; r < reps; ++r) {
+      pool_ns += time_alloc_cycle(iters, /*pooled=*/true, bytes);
+      heap_ns += time_alloc_cycle(iters, /*pooled=*/false, bytes);
+    }
+    std::printf("%-10zu %12.1f %12.1f %9.2fx\n", bytes, pool_ns / reps,
+                heap_ns / reps, heap_ns / pool_ns);
+  }
+
+  // End-to-end: reduce overhead (which includes view creation) under a
+  // steal-heavy add-n run.
+  std::printf("\n# End-to-end: Cilk-M view-creation overhead in a "
+              "steal-heavy add-256 run (16 workers)\n");
+  cilkm::Scheduler sched(16);
+  double create_us = 0;
+  std::uint64_t views = 0;
+  for (int r = 0; r < reps; ++r) {
+    sched.reset_stats();
+    sched.run([&] {
+      bench::MicroBench<cilkm::mm_policy>::add_n(256, 1 << 20, 1024, 2048);
+    });
+    const auto stats = sched.aggregate_stats();
+    create_us +=
+        static_cast<double>(stats[cilkm::StatCounter::kViewCreateNs]) / 1e3;
+    views += stats[cilkm::StatCounter::kViewsCreated];
+  }
+  std::printf("view creation: %.1f us for %llu views (%.0f ns/view, pooled)\n",
+              create_us / reps,
+              static_cast<unsigned long long>(views / static_cast<std::uint64_t>(reps)),
+              1e3 * create_us / static_cast<double>(views));
+  return 0;
+}

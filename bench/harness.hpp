@@ -1,0 +1,158 @@
+// Shared benchmark harness: repetition with mean/stddev, flag parsing, and
+// the microbenchmark kernels of paper Figure 4 (add-n / min-n / max-n and
+// the add-base-n control), parameterised over the reducer mechanism.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reducers/reducers.hpp"
+#include "runtime/api.hpp"
+#include "util/timing.hpp"
+
+namespace bench {
+
+struct RunStat {
+  double mean_s = 0;
+  double stddev_s = 0;
+};
+
+/// Run `body` `reps` times; returns mean and standard deviation of wall time.
+template <typename F>
+RunStat repeat(int reps, F&& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = cilkm::now_ns();
+    body();
+    const auto t1 = cilkm::now_ns();
+    samples.push_back(static_cast<double>(t1 - t0) / 1e9);
+  }
+  RunStat out;
+  for (const double s : samples) out.mean_s += s;
+  out.mean_s /= reps;
+  for (const double s : samples) {
+    out.stddev_s += (s - out.mean_s) * (s - out.mean_s);
+  }
+  out.stddev_s = std::sqrt(out.stddev_s / reps);
+  return out;
+}
+
+inline long flag_int(int argc, char** argv, const char* name, long def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return def;
+}
+
+// ---------------------------------------------------------------------------
+// Paper Figure 4 microbenchmark kernels.
+//
+// add-n: summing 1..x into n add-reducers in parallel.
+// min-n/max-n: processing x pseudorandom values in parallel, accumulating
+//   the min/max into n reducers.
+// For each, x is chosen by the caller so that the number of lookups is the
+// same across n (the paper's setup).
+// ---------------------------------------------------------------------------
+
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x;
+}
+
+template <typename Policy>
+struct MicroBench {
+  template <template <typename, typename> class Red>
+  using Bank = std::vector<std::unique_ptr<Red<std::uint64_t, Policy>>>;
+
+  /// One lookup+update per iteration, reducer chosen round-robin. A nonzero
+  /// yield_period inserts sched_yield points: on an oversubscribed host this
+  /// provokes the preemption-driven steals that 16 real cores would produce
+  /// organically, so the reduce-overhead benches (Figures 7–8) see a
+  /// realistic steal rate. Execution-time benches keep it at 0.
+  static void add_n(unsigned n, std::uint64_t x, std::int64_t grain,
+                    std::int64_t yield_period = 0) {
+    std::vector<std::unique_ptr<cilkm::reducer_opadd<std::uint64_t, Policy>>> r;
+    r.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      r.push_back(
+          std::make_unique<cilkm::reducer_opadd<std::uint64_t, Policy>>());
+    }
+    const std::uint64_t mask = n - 1;  // n is a power of two
+    cilkm::parallel_for(0, static_cast<std::int64_t>(x), grain,
+                        [&](std::int64_t i) {
+                          *(*r[static_cast<std::size_t>(i) & mask]) += 1;
+                          if (yield_period != 0 && i % yield_period == 0) {
+                            std::this_thread::yield();
+                          }
+                        });
+    // Consume results so the work cannot be elided.
+    std::uint64_t total = 0;
+    for (auto& red : r) total += red->get_value();
+    if (total != x) std::abort();
+  }
+
+  static void min_n(unsigned n, std::uint64_t x, std::int64_t grain) {
+    std::vector<std::unique_ptr<cilkm::reducer_min<std::uint64_t, Policy>>> r;
+    r.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      r.push_back(
+          std::make_unique<cilkm::reducer_min<std::uint64_t, Policy>>());
+    }
+    const std::uint64_t mask = n - 1;
+    cilkm::parallel_for(0, static_cast<std::int64_t>(x), grain,
+                        [&](std::int64_t i) {
+                          const std::uint64_t v = mix(static_cast<std::uint64_t>(i));
+                          auto& view = r[static_cast<std::size_t>(i) & mask]->view();
+                          if (v < view) view = v;
+                        });
+    std::uint64_t lo = ~0ull;
+    for (auto& red : r) lo = std::min(lo, red->get_value());
+    if (lo == ~0ull) std::abort();
+  }
+
+  static void max_n(unsigned n, std::uint64_t x, std::int64_t grain) {
+    std::vector<std::unique_ptr<cilkm::reducer_max<std::uint64_t, Policy>>> r;
+    r.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      r.push_back(
+          std::make_unique<cilkm::reducer_max<std::uint64_t, Policy>>());
+    }
+    const std::uint64_t mask = n - 1;
+    cilkm::parallel_for(0, static_cast<std::int64_t>(x), grain,
+                        [&](std::int64_t i) {
+                          const std::uint64_t v = mix(static_cast<std::uint64_t>(i));
+                          auto& view = r[static_cast<std::size_t>(i) & mask]->view();
+                          if (v > view) view = v;
+                        });
+    std::uint64_t hi = 0;
+    for (auto& red : r) hi = std::max(hi, red->get_value());
+    if (hi == 0) std::abort();
+  }
+};
+
+/// add-base-n: identical loop shape but updating a plain array — the
+/// control that isolates lookup overhead (paper Figure 6).
+inline void add_base_n(unsigned n, std::uint64_t x, std::int64_t grain) {
+  std::vector<std::uint64_t> cells(n, 0);
+  volatile std::uint64_t* raw = cells.data();
+  const std::uint64_t mask = n - 1;
+  cilkm::parallel_for(0, static_cast<std::int64_t>(x), grain,
+                      [&](std::int64_t i) {
+                        raw[static_cast<std::size_t>(i) & mask] =
+                            raw[static_cast<std::size_t>(i) & mask] + 1;
+                      });
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i < n; ++i) total += raw[i];
+  if (total != x) std::abort();
+}
+
+}  // namespace bench

@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks of the primitive operations underlying
+// Figures 1 and 6: a single L1 update, a memory-mapped reducer lookup, a
+// hypermap reducer lookup (at several table sizes), spinlocked updates, and
+// the runtime's fork-join primitives.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "reducers/reducers.hpp"
+#include "runtime/api.hpp"
+
+namespace {
+
+void BM_L1Access(benchmark::State& state) {
+  volatile std::uint64_t cells[4] = {};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    cells[i & 3] = cells[i & 3] + 1;
+    ++i;
+  }
+  benchmark::DoNotOptimize(cells[0]);
+}
+BENCHMARK(BM_L1Access);
+
+void BM_MmReducerLookup(benchmark::State& state) {
+  cilkm::Scheduler sched(1);
+  sched.run([&] {
+    cilkm::reducer_opadd<std::uint64_t> r0, r1, r2, r3;
+    cilkm::reducer_opadd<std::uint64_t>* r[4] = {&r0, &r1, &r2, &r3};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(*(*r[i & 3]) += 1);
+      ++i;
+    }
+  });
+}
+BENCHMARK(BM_MmReducerLookup);
+
+void BM_HypermapReducerLookup(benchmark::State& state) {
+  // The hypermap's probe cost depends on occupancy: state.range(0) gives the
+  // number of co-resident reducers.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cilkm::Scheduler sched(1);
+  sched.run([&] {
+    std::vector<
+        std::unique_ptr<cilkm::reducer_opadd<std::uint64_t, cilkm::hypermap_policy>>>
+        r;
+    for (std::size_t k = 0; k < n; ++k) {
+      r.push_back(std::make_unique<
+                  cilkm::reducer_opadd<std::uint64_t, cilkm::hypermap_policy>>());
+    }
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(*(*r[i % n]) += 1);
+      ++i;
+    }
+  });
+}
+BENCHMARK(BM_HypermapReducerLookup)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_SpinLockedUpdate(benchmark::State& state) {
+  cilkm::SpinLock locks[4];
+  volatile std::uint64_t cells[4] = {};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t k = i & 3;
+    locks[k].lock();
+    cells[k] = cells[k] + 1;
+    locks[k].unlock();
+    ++i;
+  }
+  benchmark::DoNotOptimize(cells[0]);
+}
+BENCHMARK(BM_SpinLockedUpdate);
+
+void BM_Fork2JoinUnstolen(benchmark::State& state) {
+  // The fork-join fast path: push + conditional pop, no view operations.
+  cilkm::Scheduler sched(1);
+  sched.run([&] {
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+      cilkm::fork2join([&] { sink += 1; }, [&] { sink += 2; });
+    }
+    benchmark::DoNotOptimize(sink);
+  });
+}
+BENCHMARK(BM_Fork2JoinUnstolen);
+
+void BM_ParallelFor1M(benchmark::State& state) {
+  const auto procs = static_cast<unsigned>(state.range(0));
+  cilkm::Scheduler sched(procs);
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    sched.run([&] {
+      cilkm::parallel_for(0, 1 << 20, 4096, [&](std::int64_t i) {
+        benchmark::DoNotOptimize(i);
+      });
+      sum.store(1);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK(BM_ParallelFor1M)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// The runtime/library ABI for reducer hyperobjects, mirroring the monoid
+// interface of the Cilk Plus reducer API (paper Section 3): the runtime
+// invokes IDENTITY (create_identity), REDUCE (reduce), plus destroy and a
+// collapse-into-leftmost operation used at quiescence. One ViewOps instance
+// is embedded in each reducer object; SPA-map slots and hypermap entries
+// store (view pointer, ViewOps pointer) side by side so the hypermerge
+// process can reach the monoid without touching the reducer.
+#pragma once
+
+namespace cilkm {
+
+struct ViewOps {
+  /// Allocate and return a new identity view.
+  void* (*create_identity)(void* reducer);
+  /// left = left ⊗ right; destroys the right view.
+  void (*reduce)(void* reducer, void* left_view, void* right_view);
+  /// Destroy a view without folding it (error paths only).
+  void (*destroy)(void* reducer, void* view);
+  /// leftmost = leftmost ⊗ view; destroys the view. Called by the worker
+  /// that completes the root task, and by the reducer destructor.
+  void (*collapse)(void* reducer, void* view);
+  /// The owning reducer instance, passed back to every callback.
+  void* reducer;
+};
+
+}  // namespace cilkm

@@ -1,0 +1,165 @@
+// The bag data structure of Leiserson & Schardl's work-efficient parallel
+// breadth-first search — the reducer the paper's PBFS benchmark exercises
+// (paper Section 8). A bag is a list of "pennants": a pennant of rank k is
+// a root node whose left child is a complete binary tree of 2^k - 1 nodes.
+// Insertion is O(1) amortised (binary carry propagation), and merging two
+// bags is O(log n) (a full adder over ranks), which makes bag-merge a cheap
+// associative (and commutative) monoid operation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cilkm::pbfs {
+
+template <typename T>
+class Bag {
+ public:
+  struct Node {
+    T value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+  };
+
+  static constexpr unsigned kMaxRank = 40;  // up to 2^40 elements
+
+  Bag() = default;
+  Bag(Bag&& other) noexcept { swap(other); }
+  Bag& operator=(Bag&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      swap(other);
+    }
+    return *this;
+  }
+  Bag(const Bag&) = delete;
+  Bag& operator=(const Bag&) = delete;
+  ~Bag() { destroy(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::uint64_t size() const noexcept { return size_; }
+
+  /// O(1) amortised insertion: a rank-0 pennant carried up the spine.
+  void insert(T value) {
+    Node* carry = new Node{std::move(value)};
+    unsigned rank = 0;
+    while (spine_[rank] != nullptr) {
+      carry = pennant_union(spine_[rank], carry);
+      spine_[rank] = nullptr;
+      ++rank;
+      CILKM_DCHECK(rank < kMaxRank, "bag rank overflow");
+    }
+    spine_[rank] = carry;
+    ++size_;
+  }
+
+  /// O(log n) merge: a full adder over the two spines. `other` is emptied.
+  void merge(Bag&& other) {
+    Node* carry = nullptr;
+    for (unsigned rank = 0; rank < kMaxRank; ++rank) {
+      Node* a = spine_[rank];
+      Node* b = other.spine_[rank];
+      other.spine_[rank] = nullptr;
+      // Full adder on pennants of equal rank.
+      const int ones = (a != nullptr) + (b != nullptr) + (carry != nullptr);
+      switch (ones) {
+        case 0:
+          spine_[rank] = nullptr;
+          break;
+        case 1:
+          spine_[rank] = a != nullptr ? a : (b != nullptr ? b : carry);
+          carry = nullptr;
+          break;
+        case 2: {
+          Node* x = a != nullptr ? a : b;
+          Node* y = (a != nullptr && b != nullptr) ? b : carry;
+          spine_[rank] = nullptr;
+          carry = pennant_union(x, y);
+          break;
+        }
+        case 3:
+          spine_[rank] = a;
+          carry = pennant_union(b, carry);
+          break;
+      }
+    }
+    CILKM_CHECK(carry == nullptr, "bag merge overflowed kMaxRank");
+    size_ += other.size_;
+    other.size_ = 0;
+  }
+
+  /// The pennants currently in the bag: (root, rank) pairs. A rank-k
+  /// pennant's left child is a complete tree of height k-1.
+  std::vector<std::pair<Node*, unsigned>> pennants() const {
+    std::vector<std::pair<Node*, unsigned>> out;
+    for (unsigned rank = 0; rank < kMaxRank; ++rank) {
+      if (spine_[rank] != nullptr) out.emplace_back(spine_[rank], rank);
+    }
+    return out;
+  }
+
+  /// Visit every element (test/debug; not the parallel traversal).
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    for (unsigned rank = 0; rank < kMaxRank; ++rank) {
+      visit_tree(spine_[rank], visit);
+    }
+  }
+
+  void swap(Bag& other) noexcept {
+    spine_.swap(other.spine_);
+    std::swap(size_, other.size_);
+  }
+
+  /// Combine two pennants of equal rank k into one of rank k+1.
+  static Node* pennant_union(Node* x, Node* y) noexcept {
+    y->right = x->left;
+    x->left = y;
+    return x;
+  }
+
+ private:
+  template <typename Visitor>
+  static void visit_tree(const Node* node, Visitor& visit) {
+    if (node == nullptr) return;
+    visit(node->value);
+    visit_tree(node->left, visit);
+    visit_tree(node->right, visit);
+  }
+
+  static void destroy_tree(Node* node) noexcept {
+    if (node == nullptr) return;
+    destroy_tree(node->left);
+    destroy_tree(node->right);
+    delete node;
+  }
+
+  void destroy() noexcept {
+    for (Node*& root : spine_) {
+      destroy_tree(root);
+      root = nullptr;
+    }
+    size_ = 0;
+  }
+
+  std::array<Node*, kMaxRank> spine_{};
+  std::uint64_t size_ = 0;
+};
+
+/// The bag-merge monoid: identity is the empty bag; reduce is Bag::merge.
+/// Associative and commutative, so PBFS needs only the set of inserted
+/// elements to be deterministic — which it is.
+template <typename T>
+struct bag_merge {
+  using value_type = Bag<T>;
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const {
+    left.merge(std::move(right));
+  }
+};
+
+}  // namespace cilkm::pbfs

@@ -1,0 +1,136 @@
+#include "pbfs/graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cilkm::pbfs {
+
+Graph Graph::from_edges(Vertex num_vertices,
+                        const std::vector<std::pair<Vertex, Vertex>>& edges,
+                        bool symmetrise) {
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  // Counting pass.
+  for (const auto& [u, v] : edges) {
+    CILKM_CHECK(u < num_vertices && v < num_vertices, "edge endpoint OOB");
+    ++g.offsets_[u + 1];
+    if (symmetrise) ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.targets_.resize(g.offsets_.back());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.targets_[cursor[u]++] = v;
+    if (symmetrise) g.targets_[cursor[v]++] = u;
+  }
+  return g;
+}
+
+Graph uniform_random(Vertex n, std::uint64_t m, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    edges.emplace_back(static_cast<Vertex>(rng.below(n)),
+                       static_cast<Vertex>(rng.below(n)));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph rmat(unsigned scale, std::uint64_t m, double a, double b, double c,
+           std::uint64_t seed) {
+  const Vertex n = Vertex{1} << scale;
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Vertex u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform01();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: nothing to add
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid3d(Vertex side) {
+  const auto n = static_cast<std::uint64_t>(side) * side * side;
+  CILKM_CHECK(n < kUnreached, "grid too large");
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(n * 3);
+  auto id = [side](Vertex x, Vertex y, Vertex z) {
+    return (static_cast<std::uint64_t>(z) * side + y) * side + x;
+  };
+  for (Vertex z = 0; z < side; ++z) {
+    for (Vertex y = 0; y < side; ++y) {
+      for (Vertex x = 0; x < side; ++x) {
+        const auto u = static_cast<Vertex>(id(x, y, z));
+        if (x + 1 < side) edges.emplace_back(u, static_cast<Vertex>(id(x + 1, y, z)));
+        if (y + 1 < side) edges.emplace_back(u, static_cast<Vertex>(id(x, y + 1, z)));
+        if (z + 1 < side) edges.emplace_back(u, static_cast<Vertex>(id(x, y, z + 1)));
+      }
+    }
+  }
+  return Graph::from_edges(static_cast<Vertex>(n), edges);
+}
+
+Graph generate(const GraphSpec& spec) {
+  if (spec.kind == "grid3d") {
+    // num_vertices holds the side length for grids.
+    return grid3d(spec.num_vertices);
+  }
+  if (spec.kind == "rmat") {
+    unsigned scale = 0;
+    while ((Vertex{1} << scale) < spec.num_vertices) ++scale;
+    return rmat(scale, spec.num_edges, 0.45, 0.22, 0.22, spec.seed);
+  }
+  return uniform_random(spec.num_vertices, spec.num_edges, spec.seed);
+}
+
+std::vector<GraphSpec> paper_graph_suite(unsigned shrink) {
+  CILKM_CHECK(shrink >= 1, "shrink factor must be >= 1");
+  // Paper Figure 10(b): |V|, |E| (directed), diameter class. Matrix-market
+  // meshes (kkt_power, freescale1, cage14/15, nlpkkt160, grid3d200) map to
+  // grid/uniform generators; wikipedia and rmat23 map to RMAT (power law).
+  auto v = [shrink](double millions) {
+    return static_cast<Vertex>(millions * 1e6 / shrink);
+  };
+  auto e = [shrink](double millions) {
+    return static_cast<std::uint64_t>(millions * 1e6 / shrink);
+  };
+  // grid3d200: paper uses a 200^3 grid (8M vertices); scale the side by the
+  // cube root of the shrink factor.
+  Vertex side = 200;
+  while (static_cast<std::uint64_t>(side) * side * side > 8000000ull / shrink &&
+         side > 8) {
+    --side;
+  }
+  return {
+      {"kkt_power", "uniform", v(2.05), e(12.76), 101},
+      {"freescale1", "uniform", v(3.43), e(17.1), 102},
+      {"cage14", "uniform", v(1.51), e(27.1), 103},
+      {"wikipedia", "rmat", v(2.4), e(41.9), 104},
+      {"grid3d200", "grid3d", side, 0, 105},
+      {"rmat23", "rmat", v(2.3), e(77.9), 106},
+      {"cage15", "uniform", v(5.15), e(99.2), 107},
+      {"nlpkkt160", "uniform", v(8.35), e(225.4), 108},
+  };
+}
+
+}  // namespace cilkm::pbfs

@@ -1,0 +1,30 @@
+#include "pbfs/pbfs.hpp"
+
+#include <deque>
+
+namespace cilkm::pbfs {
+
+BfsResult serial_bfs(const Graph& g, Vertex source) {
+  BfsResult result;
+  result.dist.assign(g.num_vertices(), kUnreached);
+  result.dist[source] = 0;
+  std::deque<Vertex> queue{source};
+  Vertex max_depth = 0;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    const Vertex du = result.dist[u];
+    max_depth = du > max_depth ? du : max_depth;
+    for (const Vertex* it = g.adj_begin(u); it != g.adj_end(u); ++it) {
+      if (result.dist[*it] == kUnreached) {
+        result.dist[*it] = du + 1;
+        queue.push_back(*it);
+      }
+    }
+  }
+  result.num_layers = max_depth + 1;
+  result.reducer_lookups = 0;
+  return result;
+}
+
+}  // namespace cilkm::pbfs

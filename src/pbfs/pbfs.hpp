@@ -1,0 +1,137 @@
+// Parallel breadth-first search with bag reducers (paper Section 8's
+// application benchmark) and its serial baseline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/reducer.hpp"
+#include "pbfs/bag.hpp"
+#include "pbfs/graph.hpp"
+#include "runtime/api.hpp"
+
+namespace cilkm::pbfs {
+
+struct BfsResult {
+  std::vector<Vertex> dist;       // kUnreached where unreachable
+  Vertex num_layers = 0;          // eccentricity of the source + 1
+  std::uint64_t reducer_lookups = 0;  // bag-reducer lookups performed
+};
+
+/// Serial queue-based BFS (correctness baseline and Figure 10b's D column).
+BfsResult serial_bfs(const Graph& g, Vertex source);
+
+namespace detail {
+
+/// Height at or below which a pennant subtree is processed serially, with
+/// the bag-reducer view looked up once per chunk — mirroring the real PBFS
+/// code, whose per-graph lookup counts (paper Figure 10b) are consequently
+/// small.
+inline constexpr unsigned kGrainHeight = 7;
+
+template <typename Policy>
+struct LayerContext {
+  const Graph* graph;
+  std::atomic<Vertex>* dist;
+  Vertex next_depth;
+  reducer<bag_merge<Vertex>, Policy>* out;
+  std::atomic<std::uint64_t>* lookups;
+
+  void process_chunk(const typename Bag<Vertex>::Node* node) const {
+    Bag<Vertex>& local = out->view();
+    lookups->fetch_add(1, std::memory_order_relaxed);
+    process_tree_serial(node, local);
+  }
+
+  void process_tree_serial(const typename Bag<Vertex>::Node* node,
+                           Bag<Vertex>& local) const {
+    if (node == nullptr) return;
+    expand(node->value, local);
+    process_tree_serial(node->left, local);
+    process_tree_serial(node->right, local);
+  }
+
+  void expand(Vertex u, Bag<Vertex>& local) const {
+    for (const Vertex* it = graph->adj_begin(u); it != graph->adj_end(u);
+         ++it) {
+      const Vertex v = *it;
+      Vertex expected = kUnreached;
+      if (dist[v].load(std::memory_order_relaxed) == kUnreached &&
+          dist[v].compare_exchange_strong(expected, next_depth,
+                                          std::memory_order_relaxed)) {
+        local.insert(v);
+      }
+    }
+  }
+
+  /// Parallel walk of a complete subtree of height `height`.
+  void walk_tree(const typename Bag<Vertex>::Node* node,
+                 unsigned height) const {
+    if (node == nullptr) return;
+    if (height <= kGrainHeight) {
+      process_chunk(node);
+      return;
+    }
+    fork2join(
+        [&] {
+          Bag<Vertex>& local = out->view();
+          lookups->fetch_add(1, std::memory_order_relaxed);
+          expand(node->value, local);
+          walk_tree(node->left, height - 1);
+        },
+        [&] { walk_tree(node->right, height - 1); });
+  }
+};
+
+}  // namespace detail
+
+/// Layer-synchronous PBFS. Policy selects the reducer mechanism under test
+/// (mm_policy = Cilk-M memory-mapped, hypermap_policy = Cilk Plus baseline).
+/// Call from inside cilkm::run() for parallel execution; calling it outside
+/// a run degrades gracefully to serial execution.
+template <typename Policy = mm_policy>
+BfsResult pbfs(const Graph& g, Vertex source) {
+  const Vertex n = g.num_vertices();
+  auto dist = std::make_unique<std::atomic<Vertex>[]>(n);
+  for (Vertex v = 0; v < n; ++v) {
+    dist[v].store(kUnreached, std::memory_order_relaxed);
+  }
+  dist[source].store(0, std::memory_order_relaxed);
+
+  std::atomic<std::uint64_t> lookups{0};
+  Bag<Vertex> frontier;
+  frontier.insert(source);
+  Vertex depth = 0;
+
+  while (!frontier.empty()) {
+    reducer<bag_merge<Vertex>, Policy> out;
+    detail::LayerContext<Policy> ctx{&g, dist.get(), static_cast<Vertex>(depth + 1),
+                                     &out, &lookups};
+    const auto pennant_list = frontier.pennants();
+    parallel_for(0, static_cast<std::int64_t>(pennant_list.size()), 1,
+                 [&](std::int64_t i) {
+                   const auto& [root, rank] = pennant_list[static_cast<std::size_t>(i)];
+                   // A rank-k pennant: the root element plus a complete tree
+                   // of height k-1 at root->left.
+                   Bag<Vertex>& local = out.view();
+                   lookups.fetch_add(1, std::memory_order_relaxed);
+                   ctx.expand(root->value, local);
+                   ctx.walk_tree(root->left, rank == 0 ? 0 : rank - 1);
+                 });
+    frontier = std::move(out.get_value());
+    ++depth;
+  }
+
+  BfsResult result;
+  result.dist.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    result.dist[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  result.num_layers = depth;
+  result.reducer_lookups = lookups.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace cilkm::pbfs

@@ -1,0 +1,137 @@
+// Extended reducer library, completing the set shipped with Cilk Plus:
+// min_index / max_index (argmin/argmax with deterministic first-occurrence
+// tie-breaking), list_prepend, a holder, and an ostream reducer that makes
+// parallel output appear in serial order.
+#pragma once
+
+#include <limits>
+#include <list>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "core/reducer.hpp"
+#include "reducers/monoids.hpp"
+
+namespace cilkm {
+
+/// The value carried by min_index / max_index views.
+template <typename Index, typename T>
+struct indexed_value {
+  Index index{};
+  T value{};
+  bool valid = false;
+
+  friend bool operator==(const indexed_value&, const indexed_value&) = default;
+};
+
+/// Argmin over (index, value) updates. Ties keep the serially earliest
+/// occurrence — a deterministic, associative, NON-commutative tie-break that
+/// only a correctly ordered reducer runtime can provide.
+template <typename Index, typename T>
+struct op_min_index {
+  using value_type = indexed_value<Index, T>;
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const {
+    if (!left.valid || (right.valid && right.value < left.value)) {
+      left = right;
+    }
+  }
+  /// Update helper used through the view.
+  static void update(value_type& view, Index index, const T& value) {
+    if (!view.valid || value < view.value) view = {index, value, true};
+  }
+};
+
+/// Argmax with first-occurrence tie-breaking.
+template <typename Index, typename T>
+struct op_max_index {
+  using value_type = indexed_value<Index, T>;
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const {
+    if (!left.valid || (right.valid && left.value < right.value)) {
+      left = right;
+    }
+  }
+  static void update(value_type& view, Index index, const T& value) {
+    if (!view.valid || view.value < value) view = {index, value, true};
+  }
+};
+
+/// List prepend: push_front order, i.e. the serial result is the reverse of
+/// the update sequence. reduce is x ⊗ y = y · x on the underlying list.
+template <typename T>
+struct list_prepend {
+  using value_type = std::list<T>;
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const {
+    left.splice(left.begin(), right);
+  }
+};
+
+/// A holder: strand-local scratch storage with no meaningful combination —
+/// reduce keeps the left (serially earlier) view and discards the right.
+/// Holders are for scratch space consumed *within* a strand; as in the Cilk
+/// Plus holder, the value observed after a join is one view's value and code
+/// must not rely on which.
+template <typename T>
+struct holder_keep_left {
+  using value_type = T;
+  T identity() const { return T{}; }
+  void reduce(T&, T&) const { /* keep left, discard right */ }
+};
+
+template <typename Index, typename T, typename Policy = mm_policy>
+using min_index_reducer = reducer<op_min_index<Index, T>, Policy>;
+
+template <typename Index, typename T, typename Policy = mm_policy>
+using max_index_reducer = reducer<op_max_index<Index, T>, Policy>;
+
+template <typename T, typename Policy = mm_policy>
+using list_prepend_reducer = reducer<list_prepend<T>, Policy>;
+
+template <typename T, typename Policy = mm_policy>
+using holder = reducer<holder_keep_left<T>, Policy>;
+
+/// An ostream reducer: strands stream into worker-local string buffers; the
+/// runtime concatenates buffers in serial order; flush() writes the fully
+/// ordered output to the real stream. Parallel printing, serial transcript.
+template <typename Policy = mm_policy>
+class ostream_reducer {
+ public:
+  explicit ostream_reducer(std::ostream& sink) : sink_(&sink) {}
+
+  /// Stream into the current strand's buffer.
+  template <typename V>
+  ostream_reducer& operator<<(const V& value) {
+    buffer_.view() += to_chunk(value);
+    return *this;
+  }
+
+  /// Write the accumulated (serially ordered) output to the sink and clear.
+  /// Call after quiescence.
+  void flush() {
+    *sink_ << buffer_.get_value();
+    sink_->flush();
+    buffer_.set_value({});
+  }
+
+  const std::string& pending() { return buffer_.get_value(); }
+
+ private:
+  template <typename V>
+  static std::string to_chunk(const V& value) {
+    if constexpr (std::is_same_v<V, char>) {
+      return std::string(1, value);
+    } else if constexpr (std::is_convertible_v<V, std::string>) {
+      return std::string(value);
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::ostream* sink_;
+  reducer<string_concat, Policy> buffer_;
+};
+
+}  // namespace cilkm

@@ -1,0 +1,132 @@
+// The monoid library: the building blocks of the reducer library shipped
+// with Cilk Plus (paper Sections 2 and 8) plus a few extras. Every monoid
+// satisfies cilkm::MonoidFor: identity() returns e and reduce(a, b) performs
+// a = a ⊗ b (b may be pilfered; it is destroyed by the runtime afterwards).
+#pragma once
+
+#include <limits>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cilkm {
+
+/// (T, +, 0)
+template <typename T>
+struct op_add {
+  using value_type = T;
+  T identity() const { return T{}; }
+  void reduce(T& left, T& right) const { left += right; }
+};
+
+/// (T, *, 1)
+template <typename T>
+struct op_mul {
+  using value_type = T;
+  T identity() const { return T{1}; }
+  void reduce(T& left, T& right) const { left *= right; }
+};
+
+/// (T, min, +inf). Matches the Cilk Plus reducer_min: the view holds the
+/// smallest value seen on the strand.
+template <typename T>
+struct op_min {
+  using value_type = T;
+  T identity() const { return std::numeric_limits<T>::max(); }
+  void reduce(T& left, T& right) const {
+    if (right < left) left = right;
+  }
+};
+
+/// (T, max, -inf)
+template <typename T>
+struct op_max {
+  using value_type = T;
+  T identity() const { return std::numeric_limits<T>::lowest(); }
+  void reduce(T& left, T& right) const {
+    if (left < right) left = right;
+  }
+};
+
+/// (T, &, ~0) for unsigned integral T.
+template <typename T>
+struct op_and {
+  using value_type = T;
+  T identity() const { return static_cast<T>(~T{}); }
+  void reduce(T& left, T& right) const { left &= right; }
+};
+
+/// (T, |, 0)
+template <typename T>
+struct op_or {
+  using value_type = T;
+  T identity() const { return T{}; }
+  void reduce(T& left, T& right) const { left |= right; }
+};
+
+/// (T, ^, 0)
+template <typename T>
+struct op_xor {
+  using value_type = T;
+  T identity() const { return T{}; }
+  void reduce(T& left, T& right) const { left ^= right; }
+};
+
+/// List append with the empty list as identity — the motivating example of
+/// the paper's Figure 2. Non-commutative: the runtime's ordering guarantees
+/// are what make the result deterministic. O(1) reduce via splice.
+template <typename T>
+struct list_append {
+  using value_type = std::list<T>;
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const {
+    left.splice(left.end(), right);
+  }
+};
+
+/// Vector concatenation (non-commutative).
+template <typename T>
+struct vector_concat {
+  using value_type = std::vector<T>;
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const {
+    if (left.empty()) {
+      left = std::move(right);
+      return;
+    }
+    left.insert(left.end(), std::make_move_iterator(right.begin()),
+                std::make_move_iterator(right.end()));
+  }
+};
+
+/// String concatenation (non-commutative) — the classic associativity
+/// stress test for reducer correctness.
+struct string_concat {
+  using value_type = std::string;
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const { left += right; }
+};
+
+/// Keyed aggregation: union of maps, combining values for equal keys with a
+/// (commutative or not) combiner. Used by the wordcount example.
+template <typename K, typename V, typename Combine>
+struct map_union {
+  using value_type = std::unordered_map<K, V>;
+  Combine combine{};
+
+  value_type identity() const { return {}; }
+  void reduce(value_type& left, value_type& right) const {
+    if (left.empty()) {
+      left = std::move(right);
+      return;
+    }
+    for (auto& [key, value] : right) {
+      auto [it, inserted] = left.try_emplace(key, std::move(value));
+      if (!inserted) combine(it->second, value);
+    }
+  }
+};
+
+}  // namespace cilkm

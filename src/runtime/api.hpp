@@ -1,0 +1,143 @@
+// Public fork-join API. fork2join(a, b) runs `a` immediately and exposes
+// "`b`, then the join" as a stealable continuation — exactly the
+// continuation-stealing discipline of cilk_spawn/cilk_sync, expressed with
+// closures instead of compiler support. Any spawn/sync pattern desugars into
+// nested fork2join calls (see DESIGN.md Section 3), and each worker executes
+// in precise serial order between steals, which is what the reducer protocol
+// relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/frame.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/worker.hpp"
+
+namespace cilkm {
+
+/// Run a() then b(), allowing b's side (with everything after it up to the
+/// join) to be stolen. Serial semantics: exactly a(); b();.
+///
+/// NOTE: the call may return on a different worker thread than it started on
+/// (the continuation migrates at a joining steal); do not cache
+/// thread-identity-dependent state across this call.
+template <typename A, typename B>
+void fork2join(A&& a, B&& b) {
+  rt::Worker* w = rt::Worker::current();
+  if (w == nullptr) {
+    // Outside the scheduler: plain serial execution.
+    a();
+    b();
+    return;
+  }
+  rt::SpawnFrameT<std::remove_reference_t<B>> frame(&b);
+  w->deque().push(&frame);
+
+  std::exception_ptr a_eptr;
+  try {
+    a();
+  } catch (...) {
+    a_eptr = std::current_exception();
+  }
+  // `w` may be stale if a() itself migrated at an inner join.
+  rt::Worker* w2 = rt::Worker::current();
+  rt::SpawnFrame* popped = w2->deque().take_if(&frame);
+  if (popped == &frame) {
+    // Fast path: not stolen. Mirrors serial execution; no view operations.
+    if (a_eptr) std::rethrow_exception(a_eptr);
+    b();
+    return;
+  }
+  // Slow path: the continuation was (or is being) stolen.
+  rt::Worker::join_slow(&frame);
+  if (a_eptr) std::rethrow_exception(a_eptr);
+  if (frame.eptr) std::rethrow_exception(frame.eptr);
+}
+
+/// Run all invocables, allowing them to execute in parallel; serial order is
+/// left-to-right (so order-sensitive reducers behave as in serial code).
+template <typename F1, typename F2, typename... Rest>
+void parallel_invoke(F1&& f1, F2&& f2, Rest&&... rest) {
+  if constexpr (sizeof...(Rest) == 0) {
+    fork2join(std::forward<F1>(f1), std::forward<F2>(f2));
+  } else {
+    fork2join(std::forward<F1>(f1), [&] {
+      parallel_invoke(std::forward<F2>(f2), std::forward<Rest>(rest)...);
+    });
+  }
+}
+
+/// Parallel loop over [lo, hi): recursive binary splitting down to `grain`
+/// iterations, preserving ascending serial order within and across leaves.
+template <typename Body>
+void parallel_for(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                  Body&& body) {
+  if (hi - lo <= grain) {
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+    return;
+  }
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  fork2join([&] { parallel_for(lo, mid, grain, body); },
+            [&] { parallel_for(mid, hi, grain, body); });
+}
+
+/// Parallel loop with automatic grain selection: aims for ~8 leaf chunks per
+/// worker, the usual divide-and-conquer rule of thumb.
+template <typename Body>
+void parallel_for(std::int64_t lo, std::int64_t hi, Body&& body) {
+  std::int64_t workers = 1;
+  if (rt::Worker* w = rt::Worker::current()) {
+    workers = static_cast<std::int64_t>(w->scheduler()->num_workers());
+  }
+  const std::int64_t grain = std::max<std::int64_t>(1, (hi - lo) / (8 * workers));
+  parallel_for(lo, hi, grain, std::forward<Body>(body));
+}
+
+/// A dynamic set of tasks executed in parallel at sync(), with serial order
+/// preserved left-to-right (so order-sensitive reducers behave exactly as if
+/// the tasks ran in spawn order). Unlike cilk_spawn, children do not begin
+/// until sync() — use fork2join directly when the spawning strand should
+/// overlap with its children.
+class SpawnGroup {
+ public:
+  template <typename F>
+  void spawn(F&& task) {
+    tasks_.emplace_back(std::forward<F>(task));
+  }
+
+  bool empty() const noexcept { return tasks_.empty(); }
+  std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// Run all spawned tasks (parallel, order-preserving) and clear the group.
+  void sync() {
+    if (!tasks_.empty()) invoke_range(0, tasks_.size());
+    tasks_.clear();
+  }
+
+  ~SpawnGroup() { sync(); }
+
+ private:
+  void invoke_range(std::size_t lo, std::size_t hi) {
+    if (hi - lo == 1) {
+      tasks_[lo]();
+      return;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    fork2join([&] { invoke_range(lo, mid); }, [&] { invoke_range(mid, hi); });
+  }
+
+  std::vector<std::function<void()>> tasks_;
+};
+
+/// Convenience re-exports.
+using rt::Scheduler;
+inline void run(unsigned num_workers, std::function<void()> root) {
+  rt::run(num_workers, std::move(root));
+}
+
+}  // namespace cilkm

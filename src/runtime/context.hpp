@@ -1,0 +1,30 @@
+// Minimal stackful-coroutine context switching, the substrate for Cilk-M's
+// cactus stack: parked join continuations and stolen branches each live on
+// their own fiber stack. Hand-written x86-64 System V switch (callee-saved
+// GPRs only; vector registers are caller-saved in the ABI, and we neither
+// save nor alter mxcsr/x87 control words).
+#pragma once
+
+#include <cstdint>
+
+namespace cilkm::rt {
+
+/// Opaque saved execution state: just the stack pointer; everything else
+/// lives on the fiber's stack.
+struct Context {
+  void* sp = nullptr;
+};
+
+extern "C" {
+/// Save the current context into `save` and resume `resume`.
+/// Returns (into `save`'s position) when someone later switches back to it.
+void cilkm_ctx_switch(cilkm::rt::Context* save, const cilkm::rt::Context* resume);
+
+/// Save the current context into `save`, then start running `fn(arg)` on the
+/// fresh stack whose highest address is `stack_top`. `fn` must never return;
+/// it must leave via cilkm_ctx_switch.
+void cilkm_ctx_start(cilkm::rt::Context* save, void* stack_top,
+                     void (*fn)(void*), void* arg);
+}
+
+}  // namespace cilkm::rt

@@ -1,0 +1,113 @@
+// Work-stealing deque of continuation descriptors (SpawnFrame*), following
+// the Chase–Lev design with the memory orderings of Lê/Pop/Cohen/Nardelli
+// (PPoPP'13). The owner pushes and takes at the bottom; thieves steal from
+// the top — so the oldest (shallowest) continuation is stolen first, exactly
+// the Cilk THE-protocol discipline the paper's Section 3 describes.
+//
+// One extension: take_if(expected) — the owner's fork-join fast path pops
+// the bottom entry only if it is its own descriptor. If the bottom holds an
+// *older* descriptor the owner's frame was stolen, and the older entry must
+// stay in place for its own owner/thieves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/cache.hpp"
+
+namespace cilkm::rt {
+
+struct SpawnFrame;
+
+class Deque {
+ public:
+  static constexpr std::size_t kCapacity = std::size_t{1} << 16;
+  static constexpr std::size_t kMask = kCapacity - 1;
+
+  /// Owner only.
+  void push(SpawnFrame* frame) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    CILKM_CHECK(b - t < static_cast<std::int64_t>(kCapacity),
+                "deque overflow: spawn depth exceeds capacity");
+    buffer_[static_cast<std::size_t>(b) & kMask].store(
+        frame, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pop the bottom entry unconditionally (scheduler self-steal
+  /// path — the caller promotes it like any stolen frame).
+  SpawnFrame* take_any() noexcept { return take_impl(nullptr); }
+
+  /// Owner only: pop the bottom entry only if it equals `expected` (fork-join
+  /// fast path). Returns nullptr when the deque is empty, when the bottom
+  /// entry is not `expected` (i.e., `expected` was stolen), or when a thief
+  /// wins the race for the last entry.
+  SpawnFrame* take_if(SpawnFrame* expected) noexcept {
+    CILKM_DCHECK(expected != nullptr, "take_if requires a frame");
+    return take_impl(expected);
+  }
+
+  /// Thieves: steal the top (oldest) entry. Returns nullptr if empty or if
+  /// the CAS race is lost (caller just retries elsewhere).
+  SpawnFrame* steal() noexcept {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    SpawnFrame* frame =
+        buffer_[static_cast<std::size_t>(t) & kMask].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return frame;
+  }
+
+  bool empty() const noexcept {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  SpawnFrame* take_impl(SpawnFrame* expected) noexcept {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    SpawnFrame* frame =
+        buffer_[static_cast<std::size_t>(b) & kMask].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Single entry: race a potential thief for it via the top CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return nullptr;
+      if (expected != nullptr && frame != expected) {
+        // We consumed an older entry that must remain available: the deque is
+        // now empty (we hold its sole entry), so re-pushing preserves order.
+        push(frame);
+        return nullptr;
+      }
+      return frame;
+    }
+    // More than one entry: the bottom entry is ours without a race.
+    if (expected != nullptr && frame != expected) {
+      bottom_.store(b + 1, std::memory_order_relaxed);  // leave it in place
+      return nullptr;
+    }
+    return frame;
+  }
+
+  alignas(kCacheLineSize) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLineSize) std::atomic<SpawnFrame*> buffer_[kCapacity]{};
+};
+
+}  // namespace cilkm::rt

@@ -1,0 +1,65 @@
+// Spawn frames: the continuation descriptors pushed on the deque by
+// fork2join. An un-stolen frame costs a push and a conditional pop; a stolen
+// frame is "promoted" — it then carries the join-arrival counter, the parked
+// continuation context, and the view-deposit placeholders that in the paper
+// live in a full frame (left-child / right-sibling hypermaps, or public SPA
+// maps in the memory-mapping scheme).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <vector>
+
+#include "hypermap/hypermap.hpp"
+#include "runtime/context.hpp"
+#include "runtime/stack_pool.hpp"
+#include "spa/spa_map.hpp"
+
+namespace cilkm::rt {
+
+/// A deposited set of local views: public SPA maps (memory-mapped reducers)
+/// plus a hypermap (hypermap reducers). Both mechanisms coexist in one
+/// program, which is how the benchmarks compare them in a single binary.
+struct ViewSetDeposit {
+  std::vector<spa::SpaDepositEntry> spa;
+  hypermap::HyperMap hmap;
+
+  bool empty() const noexcept { return spa.empty() && hmap.empty(); }
+};
+
+struct SpawnFrame {
+  /// Type-erased invoker of the deferred branch `b` (set by SpawnFrameT).
+  void (*invoke_b)(SpawnFrame*) = nullptr;
+
+  /// Join-arrival counter. The side whose fetch_add returns 1 arrived last
+  /// and resumes the parked continuation; the side that got 0 deposited its
+  /// views and went back to work-stealing.
+  std::atomic<int> arrivals{0};
+
+  /// Set by a thief at steal time (statistics / assertions only).
+  std::atomic<bool> stolen{false};
+
+  /// The victim's suspended continuation (valid once the victim's scheduler
+  /// announces its arrival) and its fiber for bookkeeping.
+  Context parked;
+  Fiber* parked_fiber = nullptr;
+
+  /// Deposit placeholders: the victim deposits to `left_views` (its views
+  /// are serially earlier), the thief to `right_views`.
+  ViewSetDeposit left_views;
+  ViewSetDeposit right_views;
+
+  /// Exception thrown by the stolen branch, rethrown at the join.
+  std::exception_ptr eptr;
+};
+
+template <typename B>
+struct SpawnFrameT : SpawnFrame {
+  B* body;
+
+  explicit SpawnFrameT(B* b) : body(b) {
+    invoke_b = [](SpawnFrame* f) { (*static_cast<SpawnFrameT*>(f)->body)(); };
+  }
+};
+
+}  // namespace cilkm::rt

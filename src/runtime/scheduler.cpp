@@ -1,0 +1,72 @@
+#include "runtime/scheduler.hpp"
+
+#include <thread>
+
+#include "tlmm/region.hpp"
+#include "util/assert.hpp"
+
+namespace cilkm::rt {
+
+Scheduler::Scheduler(unsigned num_workers) {
+  CILKM_CHECK(num_workers >= 1, "need at least one worker");
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this, i));
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+Worker* Scheduler::random_victim(Worker* thief) {
+  const unsigned n = num_workers();
+  if (n <= 1) return nullptr;
+  const auto pick = static_cast<unsigned>(thief->rng_.below(n - 1));
+  const unsigned victim = pick >= thief->id() ? pick + 1 : pick;
+  return workers_[victim].get();
+}
+
+void Scheduler::run(std::function<void()> root) {
+  CILKM_CHECK(Worker::current() == nullptr,
+              "Scheduler::run may not be called from inside a run");
+  root_fn_ = std::move(root);
+  root_eptr_ = nullptr;
+  done_.store(false, std::memory_order_relaxed);
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    threads.emplace_back([w = worker.get()] {
+      tls_worker = w;
+      tlmm::tls_region_base = w->region_base();
+      w->scheduler_loop();
+      CILKM_DCHECK(w->ambient_empty(), "worker exits with live ambient views");
+      tls_worker = nullptr;
+      tlmm::tls_region_base = nullptr;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  root_fn_ = nullptr;
+  if (root_eptr_ != nullptr) std::rethrow_exception(root_eptr_);
+}
+
+WorkerStats Scheduler::aggregate_stats() const {
+  WorkerStats total;
+  for (const auto& worker : workers_) total += worker->stats();
+  return total;
+}
+
+void Scheduler::reset_stats() {
+  for (auto& worker : workers_) worker->stats().reset();
+}
+
+std::uint64_t Scheduler::total_steals() const {
+  return aggregate_stats()[StatCounter::kSteals];
+}
+
+void run(unsigned num_workers, std::function<void()> root) {
+  Scheduler scheduler(num_workers);
+  scheduler.run(std::move(root));
+}
+
+}  // namespace cilkm::rt

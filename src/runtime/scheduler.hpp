@@ -1,0 +1,57 @@
+// The work-stealing scheduler: owns the workers, runs root tasks, selects
+// steal victims, and aggregates statistics. Workers persist across run()
+// calls so reducer slot offsets and pools stay warm; OS threads are created
+// per run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/worker.hpp"
+
+namespace cilkm::rt {
+
+class Scheduler {
+ public:
+  explicit Scheduler(unsigned num_workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Execute `root` to completion on the worker pool. Exceptions escaping
+  /// the root task are rethrown here. Reentrant calls are not allowed.
+  void run(std::function<void()> root);
+
+  unsigned num_workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  Worker& worker(unsigned i) noexcept { return *workers_[i]; }
+
+  /// Sum of all workers' counters (reset_stats() clears them).
+  WorkerStats aggregate_stats() const;
+  void reset_stats();
+
+  /// Total successful steals in the last run; convenience for tests/benches.
+  std::uint64_t total_steals() const;
+
+ private:
+  friend class Worker;
+  friend void fiber_main(void* arg);
+
+  Worker* random_victim(Worker* thief);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> done_{false};
+  std::function<void()> root_fn_;
+  std::exception_ptr root_eptr_;
+};
+
+/// Convenience: run `root` on a fresh P-worker scheduler.
+void run(unsigned num_workers, std::function<void()> root);
+
+}  // namespace cilkm::rt

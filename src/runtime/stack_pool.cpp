@@ -1,0 +1,51 @@
+#include "runtime/stack_pool.hpp"
+
+#include <sys/mman.h>
+
+#include <mutex>
+#include <new>
+
+#include "util/assert.hpp"
+
+namespace cilkm::rt {
+
+StackPool& StackPool::instance() {
+  static StackPool pool;
+  return pool;
+}
+
+Fiber* StackPool::allocate_fresh() {
+  const std::size_t size = kDefaultStackBytes;
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  CILKM_CHECK(p != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end (stacks grow downward).
+  CILKM_CHECK(::mprotect(p, 4096, PROT_NONE) == 0, "guard mprotect failed");
+  auto* fiber = new Fiber;
+  fiber->alloc_base = static_cast<std::byte*>(p);
+  fiber->alloc_size = size;
+  fiber->stack_top = fiber->alloc_base + size;
+  return fiber;
+}
+
+Fiber* StackPool::acquire() {
+  {
+    std::lock_guard guard(lock_);
+    if (free_list_ != nullptr) {
+      Fiber* fiber = free_list_;
+      free_list_ = fiber->next;
+      fiber->next = nullptr;
+      return fiber;
+    }
+    ++created_;
+  }
+  return allocate_fresh();
+}
+
+void StackPool::release(Fiber* fiber) {
+  std::lock_guard guard(lock_);
+  fiber->next = free_list_;
+  free_list_ = fiber;
+}
+
+}  // namespace cilkm::rt

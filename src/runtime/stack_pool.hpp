@@ -1,0 +1,45 @@
+// Pooled, guard-paged fiber stacks. Fibers are the reproduction's stand-in
+// for Cilk-M's TLMM-backed cactus stack (DESIGN.md): each stolen branch and
+// each parked join continuation occupies one. Stacks are recycled through a
+// global free list; per-worker caching happens in the Worker.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/context.hpp"
+#include "util/spinlock.hpp"
+
+namespace cilkm::rt {
+
+struct Fiber {
+  Context ctx;             // saved state while suspended / dummy save slot
+  void* stack_top = nullptr;  // highest usable address (stacks grow down)
+  std::byte* alloc_base = nullptr;
+  std::size_t alloc_size = 0;
+  Fiber* next = nullptr;   // free-list link
+};
+
+/// Process-wide stack pool. Thread-safe.
+class StackPool {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 1u << 20;  // 1 MiB virtual
+
+  static StackPool& instance();
+
+  /// Get a fiber with a fresh (or recycled) stack. The first (lowest) page is
+  /// PROT_NONE so runaway recursion faults instead of corrupting memory.
+  Fiber* acquire();
+  void release(Fiber* fiber);
+
+  /// Stacks ever created (for cactus-stack pressure accounting in tests).
+  std::size_t total_created() const noexcept { return created_; }
+
+ private:
+  Fiber* allocate_fresh();
+
+  SpinLock lock_;
+  Fiber* free_list_ = nullptr;
+  std::size_t created_ = 0;
+};
+
+}  // namespace cilkm::rt

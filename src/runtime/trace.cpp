@@ -1,0 +1,41 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+
+namespace cilkm::rt {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  for (const auto& padded : rings_) {
+    const Ring& ring = padded.value;
+    const std::uint64_t count = std::min<std::uint64_t>(ring.next, kRingCapacity);
+    const std::uint64_t start = ring.next - count;
+    for (std::uint64_t i = start; i < ring.next; ++i) {
+      out.push_back(ring.buf[i % kRingCapacity]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.time_ns < b.time_ns;
+            });
+  return out;
+}
+
+void Tracer::reset() {
+  for (auto& padded : rings_) padded.value.next = 0;
+}
+
+void Tracer::dump_csv(std::ostream& out) const {
+  out << "time_ns,worker,event,frame\n";
+  for (const TraceRecord& rec : snapshot()) {
+    out << rec.time_ns << ',' << static_cast<unsigned>(rec.worker) << ','
+        << to_string(rec.event) << ',' << rec.frame << '\n';
+  }
+}
+
+}  // namespace cilkm::rt

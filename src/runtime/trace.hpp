@@ -1,0 +1,98 @@
+// Lightweight scheduler event tracing: per-worker ring buffers recording
+// steals, parks, resumes, deposits, and hypermerges with nanosecond
+// timestamps. Off by default; when enabled it serialises the join protocol's
+// externally visible behaviour for tests and post-mortem analysis (dump to
+// CSV). Hot paths (reducer lookups, un-stolen forks) are never instrumented.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "util/cache.hpp"
+#include "util/timing.hpp"
+
+namespace cilkm::rt {
+
+enum class TraceEvent : std::uint8_t {
+  kSteal,          // acquired a frame from a deque (incl. self-steal)
+  kLaunch,         // started a fiber for a stolen frame or the root
+  kPark,           // suspended a continuation at a join
+  kResumeByThief,  // joining steal: thief resumed the parked continuation
+  kResumeSelf,     // victim resumed its own parked continuation
+  kDepositLeft,    // victim-side view transferal into a frame
+  kDepositRight,   // thief-side view transferal into a frame
+  kMerge,          // hypermerge of a deposit into ambient views
+  kRootDone,       // root task completed
+};
+
+constexpr std::string_view to_string(TraceEvent e) noexcept {
+  switch (e) {
+    case TraceEvent::kSteal: return "steal";
+    case TraceEvent::kLaunch: return "launch";
+    case TraceEvent::kPark: return "park";
+    case TraceEvent::kResumeByThief: return "resume_by_thief";
+    case TraceEvent::kResumeSelf: return "resume_self";
+    case TraceEvent::kDepositLeft: return "deposit_left";
+    case TraceEvent::kDepositRight: return "deposit_right";
+    case TraceEvent::kMerge: return "merge";
+    case TraceEvent::kRootDone: return "root_done";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  std::uint64_t time_ns;
+  const void* frame;  // the SpawnFrame involved (nullptr for root events)
+  TraceEvent event;
+  std::uint8_t worker;
+};
+
+/// Process-wide trace sink. Enable before a run, snapshot after quiescence.
+class Tracer {
+ public:
+  static constexpr std::size_t kRingCapacity = 1 << 14;  // per worker
+  static constexpr unsigned kMaxWorkers = 64;
+
+  static Tracer& instance();
+
+  void enable() { enabled_.store(true, std::memory_order_release); }
+  void disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Record an event for `worker`. Wait-free: a per-worker ring that
+  /// overwrites the oldest entries on overflow. Each ring is written by
+  /// exactly one worker thread.
+  void record(unsigned worker, TraceEvent event, const void* frame) noexcept {
+    if (!enabled() || worker >= kMaxWorkers) return;
+    Ring& ring = rings_[worker].value;
+    const std::uint64_t i = ring.next++;
+    ring.buf[i % kRingCapacity] =
+        TraceRecord{now_ns(), frame, event, static_cast<std::uint8_t>(worker)};
+  }
+
+  /// All retained records, time-ordered. Call only after quiescence.
+  std::vector<TraceRecord> snapshot() const;
+
+  /// Clear all rings (call between runs, after quiescence).
+  void reset();
+
+  /// CSV dump: time_ns,worker,event,frame.
+  void dump_csv(std::ostream& out) const;
+
+ private:
+  struct Ring {
+    std::uint64_t next = 0;
+    std::array<TraceRecord, kRingCapacity> buf{};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::array<CachePadded<Ring>, kMaxWorkers> rings_{};
+};
+
+}  // namespace cilkm::rt

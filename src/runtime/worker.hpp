@@ -1,0 +1,109 @@
+// A worker thread: its deque, its private view state for both reducer
+// mechanisms (the emulated-TLMM SPA region and the hypermap), its scheduling
+// contexts, and the view-transferal / hypermerge engine (paper Sections 3
+// and 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/deque.hpp"
+#include "runtime/frame.hpp"
+#include "spa/page_pool.hpp"
+#include "spa/slot_alloc.hpp"
+#include "tlmm/region.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cilkm::rt {
+
+class Scheduler;
+
+class Worker {
+ public:
+  Worker(Scheduler* sched, unsigned id);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// The worker the calling OS thread belongs to, or nullptr outside runs.
+  static Worker* current() noexcept;
+
+  // ---- identity / scheduling ----
+  unsigned id() const noexcept { return id_; }
+  Scheduler* scheduler() const noexcept { return sched_; }
+  WorkerStats& stats() noexcept { return stats_; }
+  Deque& deque() noexcept { return deque_; }
+
+  /// Main loop: bootstraps the root (worker 0), then steals until done.
+  void scheduler_loop();
+
+  /// Slow join path for fork2join when the deferred branch was stolen.
+  /// May return on a *different* worker (the continuation migrates).
+  static void join_slow(SpawnFrame* frame);
+
+  // ---- memory-mapped reducer (SPA) state ----
+  std::byte* region_base() noexcept { return region_.base(); }
+  spa::ViewSlot* slot_at(std::uint64_t offset) noexcept {
+    return reinterpret_cast<spa::ViewSlot*>(region_.base() + offset);
+  }
+  spa::SpaPage* page_at(std::uint32_t page) noexcept {
+    return reinterpret_cast<spa::SpaPage*>(region_.base() +
+                                           std::size_t{page} * spa::kPageBytes);
+  }
+  spa::LocalSlotCache& slot_cache() noexcept { return slot_cache_; }
+
+  /// Install a freshly created view into the private SPA slot at `offset`
+  /// (the reducer lookup miss path and the merge-adopt path).
+  void ambient_install_spa(std::uint64_t offset, void* view, const ViewOps* ops);
+
+  /// Remove the private view at `offset` if present (reducer destruction).
+  /// Returns the view pointer, or nullptr.
+  void* ambient_extract_spa(std::uint64_t offset);
+
+  // ---- hypermap reducer state ----
+  hypermap::HyperMap& hmap() noexcept { return hmap_; }
+
+  // ---- view transferal and hypermerge (both mechanisms) ----
+  void deposit_ambient(ViewSetDeposit* out);
+  void install_deposit(ViewSetDeposit* in);      // requires empty ambient
+  void merge_deposit_left(ViewSetDeposit* in);   // deposit ⊗ ambient
+  void merge_deposit_right(ViewSetDeposit* in);  // ambient ⊗ deposit
+  void collapse_ambient_into_leftmosts();
+  bool ambient_empty() const noexcept;
+
+ private:
+  friend class Scheduler;
+  friend void fiber_main(void* arg);
+
+  void launch(SpawnFrame* frame_or_null_root);
+  void drain_pending();
+  void merge_hmap(hypermap::HyperMap&& deposit, bool deposit_is_left);
+
+  unsigned id_;
+  Scheduler* sched_;
+  Xoshiro256 rng_;
+  WorkerStats stats_;
+
+  tlmm::WorkerRegion region_{spa::kRegionBytes};
+  std::vector<std::uint32_t> touched_pages_;
+  spa::LocalSlotCache slot_cache_;
+  spa::LocalPagePool page_pool_;
+  hypermap::HyperMap hmap_;
+
+  Context sched_ctx_;
+  Fiber* current_fiber_ = nullptr;
+  Fiber* pending_recycle_ = nullptr;
+  SpawnFrame* pending_park_ = nullptr;
+  SpawnFrame* launch_frame_ = nullptr;
+
+  Deque deque_;  // large (512 KiB); Worker objects are heap-allocated
+};
+
+/// TLS pointer to the calling thread's worker.
+extern thread_local Worker* tls_worker;
+
+inline Worker* Worker::current() noexcept { return tls_worker; }
+
+}  // namespace cilkm::rt

@@ -1,0 +1,69 @@
+#include "spa/page_pool.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace cilkm::spa {
+
+PagePool& PagePool::instance() {
+  static PagePool pool;
+  return pool;
+}
+
+SpaPage* PagePool::acquire(LocalPagePool* local) {
+  if (local != nullptr && !local->pages.empty()) {
+    SpaPage* page = local->pages.back();
+    local->pages.pop_back();
+    return page;
+  }
+  {
+    std::lock_guard guard(lock_);
+    if (local != nullptr) {
+      while (local->pages.size() < LocalPagePool::kBatch && !global_.empty()) {
+        local->pages.push_back(global_.back());
+        global_.pop_back();
+      }
+    }
+    if (!global_.empty()) {
+      SpaPage* page = global_.back();
+      global_.pop_back();
+      return page;
+    }
+    if (local != nullptr && !local->pages.empty()) {
+      SpaPage* page = local->pages.back();
+      local->pages.pop_back();
+      return page;
+    }
+    ++total_allocated_;
+  }
+  auto* page = new SpaPage;
+  page->clear();
+  return page;
+}
+
+void PagePool::release(SpaPage* page, LocalPagePool* local) {
+  CILKM_CHECK(page->all_empty(), "only empty SPA maps may be recycled");
+  page->num_logs = 0;  // reset overflow state; view array is already zero
+  if (local != nullptr) {
+    local->pages.push_back(page);
+    if (local->pages.size() > LocalPagePool::kHighWater) {
+      std::lock_guard guard(lock_);
+      for (std::size_t i = 0; i < LocalPagePool::kBatch; ++i) {
+        global_.push_back(local->pages.back());
+        local->pages.pop_back();
+      }
+    }
+    return;
+  }
+  std::lock_guard guard(lock_);
+  global_.push_back(page);
+}
+
+void PagePool::flush(LocalPagePool& local) {
+  std::lock_guard guard(lock_);
+  for (SpaPage* page : local.pages) global_.push_back(page);
+  local.pages.clear();
+}
+
+}  // namespace cilkm::spa

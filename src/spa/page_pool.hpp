@@ -1,0 +1,43 @@
+// Memory pools of empty SPA pages for *public* SPA maps (paper Section 7):
+// view transferal allocates public pages here, hypermerge recycles them.
+// The paper's invariant is enforced: only all-empty pages are recycled.
+// Structured like the rest of the Cilk-M internal allocator — every worker
+// owns a local pool, and a global pool rebalances between them (Hoard-like).
+#pragma once
+
+#include <vector>
+
+#include "spa/spa_map.hpp"
+#include "util/spinlock.hpp"
+
+namespace cilkm::spa {
+
+/// A worker's local pool of empty public pages.
+struct LocalPagePool {
+  static constexpr std::size_t kBatch = 4;
+  static constexpr std::size_t kHighWater = 8;
+  std::vector<SpaPage*> pages;
+};
+
+class PagePool {
+ public:
+  static PagePool& instance();
+
+  /// Returns an all-empty page (freshly zeroed if newly allocated).
+  SpaPage* acquire(LocalPagePool* local);
+
+  /// Recycle a page. Enforces the only-empty-pages-are-recycled invariant.
+  void release(SpaPage* page, LocalPagePool* local);
+
+  /// Drain a worker's local pool into the global pool (worker teardown).
+  void flush(LocalPagePool& local);
+
+  std::size_t total_allocated() const noexcept { return total_allocated_; }
+
+ private:
+  SpinLock lock_;
+  std::vector<SpaPage*> global_;
+  std::size_t total_allocated_ = 0;
+};
+
+}  // namespace cilkm::spa

@@ -1,0 +1,108 @@
+#include "tlmm/address_space.hpp"
+
+namespace cilkm::tlmm {
+
+void AddressSpace::attach_thread(ThreadId tid) {
+  std::lock_guard lock(mutex_);
+  CILKM_CHECK(!threads_.contains(tid), "thread attached twice");
+  threads_.emplace(tid, ThreadRoot{});
+}
+
+void AddressSpace::detach_thread(ThreadId tid) {
+  std::lock_guard lock(mutex_);
+  CILKM_CHECK(threads_.erase(tid) == 1, "detach of unattached thread");
+}
+
+AddressSpace::Directory* AddressSpace::walk_to_leaf(Directory* l3,
+                                                    std::uint64_t va,
+                                                    bool create,
+                                                    std::size_t* alloc_counter) {
+  const auto idx = split_va(va);
+  Directory* dir = l3;
+  // l3 already corresponds to idx[0]'s root slot; descend levels 1 and 2.
+  for (int level = 1; level < kLevels - 1; ++level) {
+    auto& slot = dir->child[idx[static_cast<std::size_t>(level)]];
+    if (!slot) {
+      if (!create) return nullptr;
+      slot = std::make_unique<Directory>();
+      if (alloc_counter != nullptr) ++*alloc_counter;
+    }
+    dir = slot.get();
+  }
+  return dir;
+}
+
+void AddressSpace::pmap(ThreadId tid, std::uint64_t base_va,
+                        std::span<const std::uint32_t> pds) {
+  std::lock_guard lock(mutex_);
+  CILKM_CHECK(base_va % kPageSize == 0, "sys_pmap: base must be page-aligned");
+  CILKM_CHECK(base_va + pds.size() * kPageSize <= kTlmmRegionBytes,
+              "sys_pmap: range must lie inside the TLMM region");
+  auto it = threads_.find(tid);
+  CILKM_CHECK(it != threads_.end(), "sys_pmap from unattached thread");
+  Directory* l3 = it->second.tlmm_l3.get();
+
+  for (std::size_t i = 0; i < pds.size(); ++i) {
+    const std::uint64_t va = base_va + i * kPageSize;
+    const auto idx = split_va(va);
+    Directory* leaf = walk_to_leaf(l3, va, /*create=*/pds[i] != kPdNull);
+    if (pds[i] == kPdNull) {
+      if (leaf != nullptr) leaf->leaf[idx[kLevels - 1]] = 0;
+      continue;
+    }
+    CILKM_CHECK(pdm_->is_live(pds[i]), "sys_pmap: dead page descriptor");
+    leaf->leaf[idx[kLevels - 1]] = pds[i] + 1;
+  }
+}
+
+void AddressSpace::map_shared(std::uint64_t va, std::uint32_t pd) {
+  std::lock_guard lock(mutex_);
+  CILKM_CHECK(va % kPageSize == 0, "map_shared: base must be page-aligned");
+  CILKM_CHECK(va >= kTlmmRegionBytes, "map_shared: address is in TLMM region");
+  CILKM_CHECK(pdm_->is_live(pd), "map_shared: dead page descriptor");
+  const auto idx = split_va(va);
+  auto& l3 = shared_l3_[idx[0] - 1];
+  if (!l3) {
+    l3 = std::make_unique<Directory>();
+    ++shared_dir_count_;
+  }
+  Directory* leaf =
+      walk_to_leaf(l3.get(), va, /*create=*/true, &shared_dir_count_);
+  leaf->leaf[idx[kLevels - 1]] = pd + 1;
+}
+
+void AddressSpace::unmap_shared(std::uint64_t va) {
+  std::lock_guard lock(mutex_);
+  CILKM_CHECK(va >= kTlmmRegionBytes, "unmap_shared: address is in TLMM region");
+  const auto idx = split_va(va);
+  auto& l3 = shared_l3_[idx[0] - 1];
+  if (!l3) return;
+  Directory* leaf = walk_to_leaf(l3.get(), va, /*create=*/false);
+  if (leaf != nullptr) leaf->leaf[idx[kLevels - 1]] = 0;
+}
+
+std::byte* AddressSpace::translate(ThreadId tid, std::uint64_t va) {
+  std::lock_guard lock(mutex_);
+  const auto idx = split_va(va);
+  Directory* l3 = nullptr;
+  if (va < kTlmmRegionBytes) {
+    auto it = threads_.find(tid);
+    CILKM_CHECK(it != threads_.end(), "translate from unattached thread");
+    l3 = it->second.tlmm_l3.get();
+  } else {
+    l3 = shared_l3_[idx[0] - 1].get();
+    if (l3 == nullptr) return nullptr;
+  }
+  Directory* leaf = walk_to_leaf(l3, va, /*create=*/false);
+  if (leaf == nullptr) return nullptr;
+  const std::uint32_t pd_plus1 = leaf->leaf[idx[kLevels - 1]];
+  if (pd_plus1 == 0) return nullptr;
+  return pdm_->frame(pd_plus1 - 1)->data.data() + (va % kPageSize);
+}
+
+std::size_t AddressSpace::shared_directory_count() {
+  std::lock_guard lock(mutex_);
+  return shared_dir_count_;
+}
+
+}  // namespace cilkm::tlmm

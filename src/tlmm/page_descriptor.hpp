@@ -1,0 +1,87 @@
+// Page-descriptor management: the software analogue of TLMM-Linux's
+// sys_palloc / sys_pfree (paper Section 4). A page descriptor "names" a
+// physical page, like a file descriptor, and is valid process-wide.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cilkm::tlmm {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Descriptor value meaning "remove this virtual-address mapping" when passed
+/// to sys_pmap, mirroring the paper's PD_NULL.
+inline constexpr std::uint32_t kPdNull = 0xffffffffu;
+
+/// A simulated physical page frame.
+struct alignas(kPageSize) PhysPage {
+  std::array<std::byte, kPageSize> data{};
+};
+
+/// Owns all simulated physical memory and hands out page descriptors.
+/// Thread-safe: any thread may allocate or free, as in TLMM-Linux where the
+/// descriptor table is process-wide.
+class PageDescriptorManager {
+ public:
+  /// sys_palloc: allocate a zeroed physical page, return its descriptor.
+  std::uint32_t palloc() {
+    std::lock_guard lock(mutex_);
+    std::uint32_t pd;
+    if (!free_.empty()) {
+      pd = free_.back();
+      free_.pop_back();
+      pages_[pd]->data.fill(std::byte{0});
+      live_[pd] = true;
+    } else {
+      pd = static_cast<std::uint32_t>(pages_.size());
+      pages_.push_back(std::make_unique<PhysPage>());
+      live_.push_back(true);
+    }
+    ++live_count_;
+    return pd;
+  }
+
+  /// sys_pfree: release a descriptor and its physical page.
+  void pfree(std::uint32_t pd) {
+    std::lock_guard lock(mutex_);
+    CILKM_CHECK(pd < pages_.size() && live_[pd], "pfree of invalid descriptor");
+    live_[pd] = false;
+    free_.push_back(pd);
+    --live_count_;
+  }
+
+  /// Resolve a descriptor to its frame. Descriptors are stable for the
+  /// lifetime of the allocation, so the returned pointer does not dangle
+  /// until pfree.
+  PhysPage* frame(std::uint32_t pd) {
+    std::lock_guard lock(mutex_);
+    CILKM_CHECK(pd < pages_.size() && live_[pd], "frame() of invalid descriptor");
+    return pages_[pd].get();
+  }
+
+  bool is_live(std::uint32_t pd) {
+    std::lock_guard lock(mutex_);
+    return pd < pages_.size() && live_[pd];
+  }
+
+  std::size_t live_count() {
+    std::lock_guard lock(mutex_);
+    return live_count_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<PhysPage>> pages_;
+  std::vector<bool> live_;  // guarded by mutex_; bool-vector is fine here
+  std::vector<std::uint32_t> free_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace cilkm::tlmm

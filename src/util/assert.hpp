@@ -1,0 +1,30 @@
+// Runtime assertion macro that stays active in release builds for cheap
+// invariants and compiles out only when CILKM_NO_CHECKS is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cilkm::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "cilkm assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace cilkm::detail
+
+#ifdef CILKM_NO_CHECKS
+#define CILKM_CHECK(expr, msg) ((void)0)
+#else
+#define CILKM_CHECK(expr, msg)                                        \
+  ((expr) ? (void)0                                                   \
+          : ::cilkm::detail::assert_fail(#expr, __FILE__, __LINE__, msg))
+#endif
+
+// Debug-only (NDEBUG-gated) heavier checks.
+#ifdef NDEBUG
+#define CILKM_DCHECK(expr, msg) ((void)0)
+#else
+#define CILKM_DCHECK(expr, msg) CILKM_CHECK(expr, msg)
+#endif

@@ -1,0 +1,112 @@
+#include "util/pool_alloc.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace cilkm {
+
+ViewPool& ViewPool::instance() {
+  static ViewPool pool;
+  return pool;
+}
+
+ViewPool::LocalCache& ViewPool::local() {
+  thread_local LocalCache cache;
+  return cache;
+}
+
+ViewPool::LocalCache::~LocalCache() {
+  // Return everything to the global shards so views freed by a dead worker
+  // thread remain reusable.
+  auto& pool = ViewPool::instance();
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    while (head[cls] != nullptr) {
+      FreeNode* node = head[cls];
+      head[cls] = node->next;
+      std::lock_guard guard(pool.shards_[cls].lock);
+      node->next = pool.shards_[cls].head;
+      pool.shards_[cls].head = node;
+    }
+    count[cls] = 0;
+  }
+}
+
+void ViewPool::refill(LocalCache& cache, int cls) {
+  auto& shard = shards_[static_cast<std::size_t>(cls)];
+  {
+    // Grab a batch from the global shard first.
+    std::lock_guard guard(shard.lock);
+    std::size_t moved = 0;
+    while (shard.head != nullptr && moved < kBatch) {
+      FreeNode* node = shard.head;
+      shard.head = node->next;
+      node->next = cache.head[static_cast<std::size_t>(cls)];
+      cache.head[static_cast<std::size_t>(cls)] = node;
+      ++moved;
+    }
+    cache.count[static_cast<std::size_t>(cls)] += moved;
+    if (moved > 0) return;
+  }
+  // Global shard empty: carve a fresh chunk into this class's slots.
+  const std::size_t slot = kClassSizes[static_cast<std::size_t>(cls)];
+  void* chunk = ::operator new(kChunkBytes);
+  {
+    std::lock_guard guard(chunk_lock_);
+    chunks_owned_.push_back(chunk);
+    ++chunks_;
+  }
+  auto* bytes = static_cast<std::byte*>(chunk);
+  const std::size_t slots = kChunkBytes / slot;
+  for (std::size_t i = 0; i < slots; ++i) {
+    auto* node = reinterpret_cast<FreeNode*>(bytes + i * slot);
+    node->next = cache.head[static_cast<std::size_t>(cls)];
+    cache.head[static_cast<std::size_t>(cls)] = node;
+  }
+  cache.count[static_cast<std::size_t>(cls)] += slots;
+}
+
+void ViewPool::drain(LocalCache& cache, int cls) {
+  auto& shard = shards_[static_cast<std::size_t>(cls)];
+  std::lock_guard guard(shard.lock);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    FreeNode* node = cache.head[static_cast<std::size_t>(cls)];
+    if (node == nullptr) break;
+    cache.head[static_cast<std::size_t>(cls)] = node->next;
+    node->next = shard.head;
+    shard.head = node;
+    --cache.count[static_cast<std::size_t>(cls)];
+  }
+}
+
+void* ViewPool::allocate(std::size_t bytes) {
+  const int cls = size_class(bytes);
+  if (cls < 0) return ::operator new(bytes);
+  LocalCache& cache = local();
+  if (cache.head[static_cast<std::size_t>(cls)] == nullptr) {
+    refill(cache, cls);
+  }
+  FreeNode* node = cache.head[static_cast<std::size_t>(cls)];
+  cache.head[static_cast<std::size_t>(cls)] = node->next;
+  --cache.count[static_cast<std::size_t>(cls)];
+  return node;
+}
+
+void ViewPool::deallocate(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  const int cls = size_class(bytes);
+  if (cls < 0) {
+    ::operator delete(p);
+    return;
+  }
+  LocalCache& cache = local();
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = cache.head[static_cast<std::size_t>(cls)];
+  cache.head[static_cast<std::size_t>(cls)] = node;
+  if (++cache.count[static_cast<std::size_t>(cls)] > kHighWater) {
+    drain(cache, cls);  // rebalance to the global pool, Hoard-style
+  }
+}
+
+}  // namespace cilkm

@@ -1,0 +1,69 @@
+// Per-worker instrumentation counters for the reduce-overhead study
+// (paper Figures 7 and 8): view creation, view insertion, view transferal,
+// and hypermerge time, plus steal counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/cache.hpp"
+
+namespace cilkm {
+
+/// Categories of reduce overhead the paper attributes in Figure 8, plus
+/// bookkeeping counters used by tests and the Figure 7 comparison.
+enum class StatCounter : unsigned {
+  kViewCreateNs,     ///< time spent constructing identity views
+  kViewInsertNs,     ///< time spent installing views into SPA map / hypermap
+  kViewTransferNs,   ///< time spent in view transferal (Cilk-M only)
+  kHypermergeNs,     ///< time spent merging deposited views (incl. REDUCE ops)
+  kViewsCreated,     ///< number of identity views created
+  kViewsTransferred, ///< number of view pointers copied private -> public
+  kHypermerges,      ///< number of deposit-merge operations
+  kSteals,           ///< successful steals (incl. self-steals from scheduler)
+  kJoiningSteals,    ///< joins resumed by the non-owning worker
+  kFibersAllocated,  ///< fiber stacks allocated (cactus-stack pressure)
+  kCount
+};
+
+constexpr std::string_view to_string(StatCounter c) noexcept {
+  switch (c) {
+    case StatCounter::kViewCreateNs: return "view_create_ns";
+    case StatCounter::kViewInsertNs: return "view_insert_ns";
+    case StatCounter::kViewTransferNs: return "view_transfer_ns";
+    case StatCounter::kHypermergeNs: return "hypermerge_ns";
+    case StatCounter::kViewsCreated: return "views_created";
+    case StatCounter::kViewsTransferred: return "views_transferred";
+    case StatCounter::kHypermerges: return "hypermerges";
+    case StatCounter::kSteals: return "steals";
+    case StatCounter::kJoiningSteals: return "joining_steals";
+    case StatCounter::kFibersAllocated: return "fibers_allocated";
+    case StatCounter::kCount: break;
+  }
+  return "?";
+}
+
+/// One worker's private counter block. Plain (non-atomic) increments: each
+/// block is written by exactly one worker thread and read only after the
+/// scheduler quiesces.
+struct WorkerStats {
+  std::array<std::uint64_t, static_cast<std::size_t>(StatCounter::kCount)>
+      counters{};
+
+  std::uint64_t& operator[](StatCounter c) noexcept {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t operator[](StatCounter c) const noexcept {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  void reset() noexcept { counters.fill(0); }
+
+  WorkerStats& operator+=(const WorkerStats& other) noexcept {
+    for (std::size_t i = 0; i < counters.size(); ++i)
+      counters[i] += other.counters[i];
+    return *this;
+  }
+};
+
+}  // namespace cilkm

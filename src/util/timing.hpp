@@ -1,0 +1,35 @@
+// Monotonic nanosecond timers used by the benchmark harness and the
+// runtime's reduce-overhead instrumentation (paper Figures 7 and 8).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cilkm {
+
+/// Current monotonic time in nanoseconds.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulates elapsed wall time into a plain uint64 on destruction.
+/// The target counter must be worker-private (no atomics): the runtime keeps
+/// one stats block per worker, cache-padded, and aggregates at report time.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(std::uint64_t& sink) noexcept
+      : sink_(sink), start_(now_ns()) {}
+  ~ScopedTimerNs() { sink_ += now_ns() - start_; }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_;
+};
+
+}  // namespace cilkm

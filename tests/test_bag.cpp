@@ -1,0 +1,129 @@
+// Bag (pennant) data-structure tests: insert carry propagation, merge as a
+// full adder, pennant shape invariants, element preservation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "pbfs/bag.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cilkm::pbfs::Bag;
+
+template <typename T>
+std::multiset<T> contents(const Bag<T>& bag) {
+  std::multiset<T> out;
+  bag.for_each([&](const T& v) { out.insert(v); });
+  return out;
+}
+
+// A pennant of rank k must contain exactly 2^k nodes; its left child is a
+// complete binary tree. Verify by counting.
+template <typename T>
+std::uint64_t count_tree(const typename Bag<T>::Node* n) {
+  if (n == nullptr) return 0;
+  return 1 + count_tree<T>(n->left) + count_tree<T>(n->right);
+}
+
+TEST(Bag, StartsEmpty) {
+  Bag<int> bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.size(), 0u);
+  EXPECT_TRUE(bag.pennants().empty());
+}
+
+TEST(Bag, InsertMaintainsBinaryCountingStructure) {
+  Bag<int> bag;
+  for (int i = 0; i < 100; ++i) {
+    bag.insert(i);
+    EXPECT_EQ(bag.size(), static_cast<std::uint64_t>(i + 1));
+    // The spine mirrors the binary representation of the size, and every
+    // rank-k pennant holds exactly 2^k elements.
+    std::uint64_t total = 0;
+    for (const auto& [root, rank] : bag.pennants()) {
+      const std::uint64_t count = count_tree<int>(root);
+      EXPECT_EQ(count, std::uint64_t{1} << rank);
+      total += count;
+    }
+    EXPECT_EQ(total, bag.size());
+  }
+}
+
+TEST(Bag, PreservesAllElements) {
+  Bag<int> bag;
+  std::multiset<int> expect;
+  for (int i = 0; i < 1000; ++i) {
+    bag.insert(i % 37);
+    expect.insert(i % 37);
+  }
+  EXPECT_EQ(contents(bag), expect);
+}
+
+TEST(Bag, MergeIsAFullAdder) {
+  for (const int na : {0, 1, 3, 7, 8, 100, 255}) {
+    for (const int nb : {0, 1, 5, 64, 127}) {
+      Bag<int> a, b;
+      std::multiset<int> expect;
+      for (int i = 0; i < na; ++i) {
+        a.insert(i);
+        expect.insert(i);
+      }
+      for (int i = 0; i < nb; ++i) {
+        b.insert(1000 + i);
+        expect.insert(1000 + i);
+      }
+      a.merge(std::move(b));
+      EXPECT_EQ(a.size(), static_cast<std::uint64_t>(na + nb));
+      EXPECT_TRUE(b.empty());
+      EXPECT_EQ(contents(a), expect) << "na=" << na << " nb=" << nb;
+      // Structure invariant after merge too.
+      for (const auto& [root, rank] : a.pennants()) {
+        EXPECT_EQ(count_tree<int>(root), std::uint64_t{1} << rank);
+      }
+    }
+  }
+}
+
+TEST(Bag, MoveSemantics) {
+  Bag<int> a;
+  for (int i = 0; i < 10; ++i) a.insert(i);
+  Bag<int> b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 10u);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Bag, RandomisedMergeSequence) {
+  cilkm::Xoshiro256 rng(2024);
+  Bag<std::uint64_t> accumulated;
+  std::multiset<std::uint64_t> expect;
+  for (int round = 0; round < 50; ++round) {
+    Bag<std::uint64_t> fresh;
+    const int n = static_cast<int>(rng.below(200));
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t v = rng.below(1000);
+      fresh.insert(v);
+      expect.insert(v);
+    }
+    accumulated.merge(std::move(fresh));
+  }
+  EXPECT_EQ(contents(accumulated), expect);
+}
+
+TEST(BagMonoid, SatisfiesMonoidLaws) {
+  // identity ⊗ x == x, and associativity on sizes/contents.
+  cilkm::pbfs::bag_merge<int> monoid;
+  auto x = monoid.identity();
+  Bag<int> y;
+  y.insert(1);
+  y.insert(2);
+  monoid.reduce(x, y);  // x = e ⊗ y
+  EXPECT_EQ(x.size(), 2u);
+  EXPECT_TRUE(y.empty());
+}
+
+}  // namespace

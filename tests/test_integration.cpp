@@ -1,0 +1,179 @@
+// Cross-module integration tests: realistic combined workloads exercising
+// the scheduler, both reducer mechanisms, the SPA machinery, the pools, and
+// PBFS together — plus lifecycle edge cases (sequential schedulers, slot
+// churn across runs, fiber reuse across many runs).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "pbfs/pbfs.hpp"
+#include "reducers/extras.hpp"
+#include "reducers/reducers.hpp"
+#include "runtime/api.hpp"
+#include "spa/slot_alloc.hpp"
+
+namespace {
+
+using cilkm::fork2join;
+using cilkm::parallel_for;
+
+TEST(Integration, PipelineOfHeterogeneousStages) {
+  // Stage 1: generate data into a vector reducer. Stage 2: BFS over a graph
+  // derived from it. Stage 3: aggregate with add/min/max reducers. All in
+  // one run, sharing the scheduler and the SPA region.
+  using namespace cilkm::pbfs;
+  cilkm::vector_reducer<std::pair<Vertex, Vertex>> edges;
+  cilkm::reducer_opadd<long> checksum;
+  cilkm::reducer_min<std::uint32_t> min_dist_sum;
+
+  Graph g;
+  BfsResult bfs;
+  cilkm::run(4, [&] {
+    parallel_for(0, 30000, 64, [&](std::int64_t i) {
+      const auto u = static_cast<Vertex>((i * 2654435761u) % 5000);
+      const auto v = static_cast<Vertex>((i * 40503u + 7) % 5000);
+      edges->emplace_back(u, v);
+    });
+    g = Graph::from_edges(5000, edges.view());
+    bfs = pbfs<cilkm::mm_policy>(g, 0);
+    parallel_for(0, 5000, 16, [&](std::int64_t v) {
+      const Vertex d = bfs.dist[static_cast<std::size_t>(v)];
+      if (d != kUnreached) {
+        *checksum += d;
+        if (d < *min_dist_sum) *min_dist_sum = d;
+      }
+    });
+  });
+
+  const auto serial = serial_bfs(g, 0);
+  EXPECT_EQ(bfs.dist, serial.dist);
+  long expect_sum = 0;
+  for (const Vertex d : serial.dist) {
+    if (d != kUnreached) expect_sum += d;
+  }
+  EXPECT_EQ(checksum.get_value(), expect_sum);
+  EXPECT_EQ(min_dist_sum.get_value(), 0u);  // the source itself
+}
+
+TEST(Integration, SequentialSchedulersShareGlobalPools) {
+  // Slot offsets, SPA pages, fiber stacks, and pooled views all flow back
+  // to global pools when a scheduler dies; fresh schedulers reuse them.
+  const std::size_t live_before = cilkm::spa::SlotAllocator::instance().live_slots();
+  for (int round = 0; round < 4; ++round) {
+    cilkm::reducer_opadd<long> sum;
+    cilkm::run(3, [&] {
+      parallel_for(0, 5000, 32, [&](std::int64_t) { *sum += 1; });
+    });
+    EXPECT_EQ(sum.get_value(), 5000);
+  }
+  EXPECT_EQ(cilkm::spa::SlotAllocator::instance().live_slots(), live_before);
+}
+
+TEST(Integration, SlotChurnAcrossRuns) {
+  // Thousands of reducers created and destroyed across runs: slots recycle,
+  // stale SPA log entries stay harmless.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::unique_ptr<cilkm::reducer_opadd<int>>> reducers;
+    for (int i = 0; i < 500; ++i) {
+      reducers.push_back(std::make_unique<cilkm::reducer_opadd<int>>());
+    }
+    cilkm::run(2, [&] {
+      parallel_for(0, 500, 8, [&](std::int64_t i) {
+        *(*reducers[static_cast<std::size_t>(i)]) += static_cast<int>(i);
+      });
+    });
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_EQ(reducers[static_cast<std::size_t>(i)]->get_value(), i);
+    }
+  }
+}
+
+TEST(Integration, MixedMechanismsAndTypesUnderLoad) {
+  cilkm::reducer_opadd<double, cilkm::mm_policy> sum_d;
+  cilkm::reducer_opadd<long, cilkm::hypermap_policy> sum_l;
+  cilkm::string_reducer<cilkm::mm_policy> cat_mm;
+  cilkm::string_reducer<cilkm::hypermap_policy> cat_hm;
+  cilkm::max_index_reducer<std::int64_t, long> argmax;
+
+  cilkm::run(8, [&] {
+    parallel_for(0, 4000, 4, [&](std::int64_t i) {
+      *sum_d += 0.5;
+      *sum_l += 2;
+      cat_mm.view() += static_cast<char>('a' + i % 26);
+      cat_hm.view() += static_cast<char>('A' + i % 26);
+      decltype(argmax)::monoid_type::update(argmax.view(), i, (i * 37) % 1000);
+    });
+  });
+
+  EXPECT_DOUBLE_EQ(sum_d.get_value(), 2000.0);
+  EXPECT_EQ(sum_l.get_value(), 8000);
+  std::string expect_mm, expect_hm;
+  long best = -1;
+  std::int64_t best_i = -1;
+  for (std::int64_t i = 0; i < 4000; ++i) {
+    expect_mm += static_cast<char>('a' + i % 26);
+    expect_hm += static_cast<char>('A' + i % 26);
+    if ((i * 37) % 1000 > best) {
+      best = (i * 37) % 1000;
+      best_i = i;
+    }
+  }
+  EXPECT_EQ(cat_mm.get_value(), expect_mm);
+  EXPECT_EQ(cat_hm.get_value(), expect_hm);
+  EXPECT_EQ(argmax.get_value().index, best_i);
+  EXPECT_EQ(argmax.get_value().value, best);
+}
+
+TEST(Integration, DeepFiberRecursionAcrossSteals) {
+  // A deep spawn chain (every level forks) with a reducer: exercises fiber
+  // parking at many nesting depths.
+  cilkm::reducer_opadd<long> count;
+  std::function<void(int)> descend = [&](int depth) {
+    *count += 1;
+    if (depth == 0) return;
+    fork2join([&] { descend(depth - 1); }, [&] { descend(depth - 1); });
+  };
+  cilkm::run(4, [&] { descend(12); });
+  EXPECT_EQ(count.get_value(), (1L << 13) - 1);  // 2^(d+1) - 1 nodes
+}
+
+TEST(Integration, ReducerDeclaredInsideDeepParallelism) {
+  // Reducers born and destroyed on arbitrary workers inside the parallel
+  // region, nested two levels down.
+  std::atomic<long> grand_total{0};
+  cilkm::run(4, [&] {
+    parallel_for(0, 40, 1, [&](std::int64_t) {
+      cilkm::reducer_opadd<long> local_sum;
+      parallel_for(0, 200, 8, [&](std::int64_t) { *local_sum += 1; });
+      grand_total.fetch_add(local_sum.get_value(), std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(grand_total.load(), 8000);
+}
+
+TEST(Integration, LargeReducerValuesSpillToHeapClass) {
+  // Views above the largest pool class take the operator-new fallthrough.
+  struct Big {
+    std::array<double, 128> a{};  // 1 KiB view
+  };
+  struct BigMonoid {
+    using value_type = Big;
+    Big identity() const { return {}; }
+    void reduce(Big& l, Big& r) const {
+      for (std::size_t i = 0; i < l.a.size(); ++i) l.a[i] += r.a[i];
+    }
+  };
+  cilkm::reducer<BigMonoid> big;
+  cilkm::run(4, [&] {
+    parallel_for(0, 1280, 16, [&](std::int64_t i) {
+      big.view().a[static_cast<std::size_t>(i) % 128] += 1.0;
+    });
+  });
+  double total = 0;
+  for (const double v : big.get_value().a) total += v;
+  EXPECT_DOUBLE_EQ(total, 1280.0);
+}
+
+}  // namespace

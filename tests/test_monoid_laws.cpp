@@ -1,0 +1,186 @@
+// Property tests of the monoid laws for every monoid in the reducer
+// library: identity (e ⊗ x = x ⊗ e = x) and associativity
+// ((a ⊗ b) ⊗ c = a ⊗ (b ⊗ c)) over randomly generated values. The runtime
+// guarantees serial-equivalent reducer results only for associative reduce
+// operations, so these laws are the library's contract.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <string>
+#include <vector>
+
+#include "pbfs/bag.hpp"
+#include "reducers/extras.hpp"
+#include "reducers/monoids.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cilkm::Xoshiro256;
+
+// reduce() consumes its right argument, so law checks work on copies.
+template <typename M>
+typename M::value_type combine(const M& m, typename M::value_type a,
+                               typename M::value_type b) {
+  m.reduce(a, b);
+  return a;
+}
+
+template <typename M, typename Gen>
+void check_laws(const M& monoid, Gen&& gen, int rounds = 50) {
+  for (int round = 0; round < rounds; ++round) {
+    const auto a = gen(round * 3 + 0);
+    const auto b = gen(round * 3 + 1);
+    const auto c = gen(round * 3 + 2);
+
+    // Identity laws.
+    EXPECT_EQ(combine(monoid, monoid.identity(), a), a) << "e+x, round " << round;
+    EXPECT_EQ(combine(monoid, a, monoid.identity()), a) << "x+e, round " << round;
+
+    // Associativity.
+    const auto left_first = combine(monoid, combine(monoid, a, b), c);
+    const auto right_first = combine(monoid, a, combine(monoid, b, c));
+    EXPECT_EQ(left_first, right_first) << "assoc, round " << round;
+  }
+}
+
+std::uint64_t rnd(int i) {
+  std::uint64_t s = static_cast<std::uint64_t>(i) + 12345;
+  return cilkm::splitmix64(s);
+}
+
+TEST(MonoidLaws, OpAddIntegral) {
+  check_laws(cilkm::op_add<std::uint64_t>{},
+             [](int i) { return rnd(i); });
+}
+
+TEST(MonoidLaws, OpAddDoubleOnRepresentableValues) {
+  // Doubles are associative only on exactly representable sums; use small
+  // integers scaled by powers of two.
+  check_laws(cilkm::op_add<double>{},
+             [](int i) { return static_cast<double>(rnd(i) % 4096) * 0.25; });
+}
+
+TEST(MonoidLaws, OpMul) {
+  // Stay in a range without wraparound sensitivity: wrap IS associative for
+  // unsigned, so full-range values are fine too.
+  check_laws(cilkm::op_mul<std::uint64_t>{}, [](int i) { return rnd(i); });
+}
+
+TEST(MonoidLaws, OpMinMax) {
+  check_laws(cilkm::op_min<std::int64_t>{},
+             [](int i) { return static_cast<std::int64_t>(rnd(i)); });
+  check_laws(cilkm::op_max<std::int64_t>{},
+             [](int i) { return static_cast<std::int64_t>(rnd(i)); });
+}
+
+TEST(MonoidLaws, Bitwise) {
+  check_laws(cilkm::op_and<std::uint64_t>{}, [](int i) { return rnd(i); });
+  check_laws(cilkm::op_or<std::uint64_t>{}, [](int i) { return rnd(i); });
+  check_laws(cilkm::op_xor<std::uint64_t>{}, [](int i) { return rnd(i); });
+}
+
+TEST(MonoidLaws, StringConcatIsAssociativeNotCommutative) {
+  auto gen = [](int i) {
+    std::string s;
+    for (std::uint64_t k = 0; k < rnd(i) % 8; ++k) {
+      s += static_cast<char>('a' + (rnd(i + 1000 + static_cast<int>(k)) % 26));
+    }
+    return s;
+  };
+  check_laws(cilkm::string_concat{}, gen);
+  // Sanity: the monoid is genuinely non-commutative (so the ordering tests
+  // elsewhere actually prove something).
+  EXPECT_NE(combine(cilkm::string_concat{}, std::string("ab"), std::string("cd")),
+            combine(cilkm::string_concat{}, std::string("cd"), std::string("ab")));
+}
+
+TEST(MonoidLaws, ListAppendAndPrepend) {
+  auto gen = [](int i) {
+    std::list<int> l;
+    for (std::uint64_t k = 0; k < rnd(i) % 6; ++k) {
+      l.push_back(static_cast<int>(rnd(i + 500 + static_cast<int>(k)) % 100));
+    }
+    return l;
+  };
+  check_laws(cilkm::list_append<int>{}, gen);
+  check_laws(cilkm::list_prepend<int>{}, gen);
+  // prepend(a, b) == append(b, a).
+  const auto a = gen(1), b = gen(2);
+  EXPECT_EQ(combine(cilkm::list_prepend<int>{}, a, b),
+            combine(cilkm::list_append<int>{}, b, a));
+}
+
+TEST(MonoidLaws, VectorConcat) {
+  auto gen = [](int i) {
+    std::vector<int> v;
+    for (std::uint64_t k = 0; k < rnd(i) % 6; ++k) {
+      v.push_back(static_cast<int>(rnd(i + 700 + static_cast<int>(k))));
+    }
+    return v;
+  };
+  check_laws(cilkm::vector_concat<int>{}, gen);
+}
+
+TEST(MonoidLaws, MapUnionWithAddCombiner) {
+  struct Add {
+    void operator()(std::uint64_t& into, const std::uint64_t& from) const {
+      into += from;
+    }
+  };
+  auto gen = [](int i) {
+    std::unordered_map<std::string, std::uint64_t> m;
+    for (std::uint64_t k = 0; k < rnd(i) % 5; ++k) {
+      m["k" + std::to_string(rnd(i + 300 + static_cast<int>(k)) % 4)] =
+          rnd(i + 900 + static_cast<int>(k)) % 100;
+    }
+    return m;
+  };
+  check_laws(cilkm::map_union<std::string, std::uint64_t, Add>{}, gen);
+}
+
+TEST(MonoidLaws, MinIndexMaxIndexTieBreakIsAssociative) {
+  auto gen = [](int i) {
+    cilkm::indexed_value<int, int> v;
+    v.valid = rnd(i) % 5 != 0;  // include invalid (identity-like) values
+    if (!v.valid) return v;     // canonical identity: zeroed fields
+    v.index = static_cast<int>(rnd(i + 1) % 1000);
+    v.value = static_cast<int>(rnd(i + 2) % 10);  // many ties
+    return v;
+  };
+  check_laws(cilkm::op_min_index<int, int>{}, gen, 200);
+  check_laws(cilkm::op_max_index<int, int>{}, gen, 200);
+}
+
+TEST(MonoidLaws, BagMergeOnSizes) {
+  // Bags are move-only and structurally unordered: check identity and
+  // associativity on sizes and multiset contents.
+  cilkm::pbfs::bag_merge<int> monoid;
+  Xoshiro256 rng(77);
+  for (int round = 0; round < 20; ++round) {
+    auto make = [&](int n) {
+      cilkm::pbfs::Bag<int> bag;
+      for (int i = 0; i < n; ++i) bag.insert(static_cast<int>(rng.below(50)));
+      return bag;
+    };
+    const int na = static_cast<int>(rng.below(100));
+    const int nb = static_cast<int>(rng.below(100));
+    const int nc = static_cast<int>(rng.below(100));
+
+    auto ab_c = make(na);
+    {
+      auto b = make(nb);
+      monoid.reduce(ab_c, b);
+      auto c = make(nc);
+      monoid.reduce(ab_c, c);
+    }
+    EXPECT_EQ(ab_c.size(), static_cast<std::uint64_t>(na + nb + nc));
+
+    auto e = monoid.identity();
+    auto x = make(7);
+    monoid.reduce(e, x);
+    EXPECT_EQ(e.size(), 7u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Parameterized property sweeps: SPA page behaviour across the full range
+// of occupancies, reducer correctness across the (workers × reducer-count)
+// grid, and PBFS-vs-serial across every graph of the paper's Figure 10(b)
+// stand-in suite.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "pbfs/pbfs.hpp"
+#include "reducers/reducers.hpp"
+#include "runtime/api.hpp"
+#include "spa/spa_map.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SPA page occupancy sweep.
+// ---------------------------------------------------------------------------
+
+class SpaOccupancy : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SpaOccupancy, SequencingVisitsExactlyTheValidSet) {
+  using namespace cilkm::spa;
+  const unsigned fill = GetParam();
+  SpaPage page;
+  page.clear();
+  static int dummy;
+  std::set<std::uint32_t> expect;
+  // Scatter the fill across the view array deterministically.
+  for (unsigned i = 0; i < fill; ++i) {
+    const auto idx = static_cast<std::uint32_t>((i * 101) % kViewsPerPage);
+    if (expect.insert(idx).second) {
+      page.views[idx] = {&dummy, nullptr};
+      page.note_insert(idx);
+    }
+  }
+  EXPECT_EQ(page.num_valid, expect.size());
+  if (expect.size() > kLogCapacity) {
+    EXPECT_EQ(page.num_logs, kLogsOverflowed);
+  } else {
+    EXPECT_EQ(page.num_logs, expect.size());
+  }
+  std::set<std::uint32_t> seen;
+  page.for_each_valid([&](std::uint32_t idx, ViewSlot&) {
+    EXPECT_TRUE(seen.insert(idx).second) << "visited twice: " << idx;
+  });
+  EXPECT_EQ(seen, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(FillLevels, SpaOccupancy,
+                         ::testing::Values(0u, 1u, 2u, 7u, 60u, 119u, 120u,
+                                           121u, 200u, 247u, 248u));
+
+// ---------------------------------------------------------------------------
+// (workers × reducer-count) correctness grid.
+// ---------------------------------------------------------------------------
+
+struct GridParam {
+  unsigned workers;
+  unsigned reducers;
+};
+
+class ReducerGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(ReducerGrid, SumsAreExactForBothMechanisms) {
+  const auto [workers, n] = GetParam();
+  std::vector<std::unique_ptr<cilkm::reducer_opadd<long, cilkm::mm_policy>>> mm(n);
+  std::vector<std::unique_ptr<cilkm::reducer_opadd<long, cilkm::hypermap_policy>>>
+      hm(n);
+  for (unsigned i = 0; i < n; ++i) {
+    mm[i] = std::make_unique<cilkm::reducer_opadd<long, cilkm::mm_policy>>();
+    hm[i] = std::make_unique<cilkm::reducer_opadd<long, cilkm::hypermap_policy>>();
+  }
+  constexpr std::int64_t kIters = 20000;
+  cilkm::run(workers, [&] {
+    cilkm::parallel_for(0, kIters, 32, [&](std::int64_t i) {
+      *(*mm[static_cast<std::size_t>(i) % n]) += 1;
+      *(*hm[static_cast<std::size_t>(i) % n]) += 1;
+    });
+  });
+  long mm_total = 0, hm_total = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    mm_total += mm[i]->get_value();
+    hm_total += hm[i]->get_value();
+    EXPECT_EQ(mm[i]->get_value(), hm[i]->get_value()) << "reducer " << i;
+  }
+  EXPECT_EQ(mm_total, kIters);
+  EXPECT_EQ(hm_total, kIters);
+}
+
+std::vector<GridParam> grid() {
+  std::vector<GridParam> out;
+  for (const unsigned w : {1u, 2u, 4u, 8u}) {
+    for (const unsigned n : {1u, 3u, 64u, 300u}) {  // 300 spans 2 SPA pages
+      out.push_back({w, n});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkersByReducers, ReducerGrid,
+                         ::testing::ValuesIn(grid()));
+
+// ---------------------------------------------------------------------------
+// PBFS across the paper-suite stand-ins.
+// ---------------------------------------------------------------------------
+
+class PaperSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperSuite, PbfsMatchesSerialOnSuiteGraph) {
+  using namespace cilkm::pbfs;
+  const auto specs = paper_graph_suite(/*shrink=*/512);
+  const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+  const Graph g = generate(spec);
+  const auto expect = serial_bfs(g, 0);
+  BfsResult mm, hm;
+  cilkm::run(4, [&] {
+    mm = pbfs<cilkm::mm_policy>(g, 0);
+    hm = pbfs<cilkm::hypermap_policy>(g, 0);
+  });
+  EXPECT_EQ(mm.dist, expect.dist) << spec.name;
+  EXPECT_EQ(hm.dist, expect.dist) << spec.name;
+  EXPECT_EQ(mm.num_layers, expect.num_layers) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEightGraphs, PaperSuite,
+                         ::testing::Range(0, 8));
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Scheduler edge cases and failure injection: precondition enforcement,
+// resource stability across many runs, wide oversubscription, exceptions
+// thrown from monoid callbacks, and fiber-pool behaviour under churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "reducers/reducers.hpp"
+#include "runtime/api.hpp"
+#include "runtime/stack_pool.hpp"
+
+namespace {
+
+using cilkm::parallel_for;
+
+TEST(SchedulerEdge, NestedRunIsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(cilkm::run(2, [] { cilkm::run(2, [] {}); }),
+               "may not be called from inside a run");
+}
+
+TEST(SchedulerEdge, ZeroWorkRunsAreCheap) {
+  // 200 empty runs: fiber stacks must be recycled, not accumulated.
+  cilkm::Scheduler sched(2);
+  const std::size_t created_before = cilkm::rt::StackPool::instance().total_created();
+  for (int i = 0; i < 200; ++i) sched.run([] {});
+  const std::size_t created_after = cilkm::rt::StackPool::instance().total_created();
+  // Each run needs at most a handful of fresh stacks beyond the pool.
+  EXPECT_LE(created_after - created_before, 16u);
+}
+
+TEST(SchedulerEdge, WideOversubscription) {
+  // 32 workers on one core: still correct, still terminates.
+  std::atomic<long> sum{0};
+  cilkm::run(32, [&] {
+    parallel_for(0, 20000, 64, [&](std::int64_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(sum.load(), 19999L * 20000 / 2);
+}
+
+TEST(SchedulerEdge, ManySmallRunsInterleavedWithReducers) {
+  cilkm::Scheduler sched(4);
+  long total = 0;
+  for (int round = 0; round < 50; ++round) {
+    cilkm::reducer_opadd<long> sum;
+    sched.run([&] {
+      parallel_for(0, 200, 8, [&](std::int64_t) { *sum += 1; });
+    });
+    total += sum.get_value();
+  }
+  EXPECT_EQ(total, 50 * 200);
+}
+
+// A monoid whose identity() throws on demand: the miss path must propagate
+// the exception to the strand performing the lookup and leak nothing.
+struct ThrowingMonoid {
+  using value_type = long;
+  static inline std::atomic<bool> armed{false};
+  long identity() const {
+    if (armed.load()) throw std::runtime_error("identity failed");
+    return 0;
+  }
+  void reduce(long& l, long& r) const { l += r; }
+};
+
+TEST(SchedulerEdge, ExceptionFromIdentityPropagatesToLookup) {
+  ThrowingMonoid::armed.store(false);
+  cilkm::reducer<ThrowingMonoid> r;  // leftmost identity created un-armed
+  ThrowingMonoid::armed.store(true);
+  bool caught = false;
+  cilkm::run(2, [&] {
+    try {
+      *r += 1;  // first lookup -> identity view creation -> throw
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  });
+  EXPECT_TRUE(caught);
+  ThrowingMonoid::armed.store(false);
+  // The reducer remains usable after the failure.
+  cilkm::run(2, [&] { *r += 5; });
+  EXPECT_EQ(r.get_value(), 5);
+}
+
+TEST(SchedulerEdge, UnbalancedForkTreesTerminate) {
+  // A pathologically right-deep spawn chain: every fork defers a long
+  // continuation chain; exercises deque depth and fiber parking.
+  std::atomic<int> leaves{0};
+  std::function<void(int)> chain = [&](int n) {
+    if (n == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    cilkm::fork2join([&] { leaves.fetch_add(1, std::memory_order_relaxed); },
+                     [&] { chain(n - 1); });
+  };
+  cilkm::run(4, [&] { chain(3000); });
+  EXPECT_EQ(leaves.load(), 3001);
+}
+
+TEST(SchedulerEdge, LeftDeepForkTreesTerminate) {
+  std::atomic<int> leaves{0};
+  std::function<void(int)> chain = [&](int n) {
+    if (n == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    cilkm::fork2join([&] { chain(n - 1); },
+                     [&] { leaves.fetch_add(1, std::memory_order_relaxed); });
+  };
+  // Left-deep chains consume fiber stack (each level is a real call frame),
+  // so the depth is bounded by the 1 MiB stacks — stay well below it.
+  cilkm::run(4, [&] { chain(2000); });
+  EXPECT_EQ(leaves.load(), 2001);
+}
+
+TEST(SchedulerEdge, RunFromSecondOsThread) {
+  // Schedulers can be driven from any quiescent thread, not just main.
+  long result = 0;
+  std::thread driver([&] {
+    cilkm::reducer_opadd<long> sum;
+    cilkm::run(3, [&] {
+      parallel_for(0, 1000, 16, [&](std::int64_t) { *sum += 1; });
+    });
+    result = sum.get_value();
+  });
+  driver.join();
+  EXPECT_EQ(result, 1000);
+}
+
+TEST(SchedulerEdge, StatsResetBetweenRuns) {
+  cilkm::Scheduler sched(2);
+  sched.run([] { cilkm::parallel_for(0, 100, 1, [](std::int64_t) {}); });
+  sched.reset_stats();
+  const auto stats = sched.aggregate_stats();
+  for (unsigned i = 0; i < static_cast<unsigned>(cilkm::StatCounter::kCount); ++i) {
+    EXPECT_EQ(stats.counters[i], 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Utility-layer tests: RNG determinism and distribution, cache padding,
+// spinlock mutual exclusion, timers, stats counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/cache.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+#include "util/stats.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace cilkm;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool any_differ = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    any_differ |= (va != c());
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 10ull, 1000000007ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(1234);
+  constexpr int kBuckets = 16, kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitMixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto v1 = splitmix64(s);
+  const auto v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(s, 0u);
+}
+
+TEST(CachePadded, ElementsDoNotShareCacheLines) {
+  CachePadded<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+  arr[0].value = 5;
+  EXPECT_EQ(*arr[0], 5);
+  EXPECT_EQ(arr[1].value, 0);
+}
+
+TEST(SpinLock, ProvidesMutualExclusion) {
+  SpinLock lock;
+  long counter = 0;
+  constexpr int kThreads = 4, kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(SpinLock, TryLockReflectsState) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Timing, NowNsIsMonotonic) {
+  const auto t1 = now_ns();
+  const auto t2 = now_ns();
+  EXPECT_LE(t1, t2);
+}
+
+TEST(Timing, ScopedTimerAccumulates) {
+  std::uint64_t sink = 0;
+  {
+    ScopedTimerNs timer(sink);
+    volatile int x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1;
+  }
+  EXPECT_GT(sink, 0u);
+  const std::uint64_t first = sink;
+  {
+    ScopedTimerNs timer(sink);
+    volatile int x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1;
+  }
+  EXPECT_GT(sink, first);
+}
+
+TEST(Stats, CountersIndexAndAggregate) {
+  WorkerStats a, b;
+  a[StatCounter::kSteals] = 3;
+  b[StatCounter::kSteals] = 4;
+  b[StatCounter::kViewsCreated] = 9;
+  a += b;
+  EXPECT_EQ(a[StatCounter::kSteals], 7u);
+  EXPECT_EQ(a[StatCounter::kViewsCreated], 9u);
+  a.reset();
+  EXPECT_EQ(a[StatCounter::kSteals], 0u);
+}
+
+TEST(Stats, EveryCounterHasAName) {
+  for (unsigned i = 0; i < static_cast<unsigned>(StatCounter::kCount); ++i) {
+    EXPECT_NE(to_string(static_cast<StatCounter>(i)), "?");
+  }
+}
+
+}  // namespace

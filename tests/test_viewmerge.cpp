@@ -1,0 +1,218 @@
+// Direct unit tests of the worker-level view-transferal and hypermerge
+// engine (paper Sections 3 and 7), without any scheduling: a fake monoid
+// records every reduce call so operand ORDER — the heart of reducer
+// correctness for non-commutative monoids — is asserted exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/worker.hpp"
+#include "tlmm/region.hpp"
+
+namespace spa {
+inline std::uint64_t offset(std::uint32_t page, std::uint32_t idx) {
+  return cilkm::spa::slot_offset(page, idx);
+}
+}  // namespace spa
+
+namespace {
+
+using cilkm::ViewOps;
+using cilkm::rt::Scheduler;
+using cilkm::rt::ViewSetDeposit;
+using cilkm::rt::Worker;
+
+// A "view" carrying a string; reduce concatenates — order-revealing.
+struct StrView {
+  std::string text;
+};
+
+struct FakeReducer {
+  std::string collapsed;  // where collapse() folds into
+  ViewOps ops{};
+
+  FakeReducer() {
+    ops.create_identity = [](void*) -> void* { return new StrView{}; };
+    ops.reduce = [](void*, void* l, void* r) {
+      static_cast<StrView*>(l)->text += static_cast<StrView*>(r)->text;
+      delete static_cast<StrView*>(r);
+    };
+    ops.destroy = [](void*, void* v) { delete static_cast<StrView*>(v); };
+    ops.collapse = [](void* self, void* v) {
+      static_cast<FakeReducer*>(self)->collapsed +=
+          static_cast<StrView*>(v)->text;
+      delete static_cast<StrView*>(v);
+    };
+    ops.reducer = this;
+  }
+};
+
+class ViewMergeTest : public ::testing::Test {
+ protected:
+  // Two workers from a scheduler that never runs: we drive the view engine
+  // by hand. The TLS region is pointed at whichever worker is "current".
+  ViewMergeTest() : sched_(2) {}
+
+  ~ViewMergeTest() override { cilkm::tlmm::set_current_region(nullptr); }
+
+  Worker& w(unsigned i) { return sched_.worker(i); }
+
+  void install(Worker& worker, FakeReducer& r, std::uint64_t offset,
+               const std::string& text) {
+    worker.ambient_install_spa(offset, new StrView{text}, &r.ops);
+  }
+
+  std::string spa_text(Worker& worker, std::uint64_t offset) {
+    auto* slot = worker.slot_at(offset);
+    return slot->empty() ? std::string{}
+                         : static_cast<StrView*>(slot->view)->text;
+  }
+
+  Scheduler sched_;
+};
+
+TEST_F(ViewMergeTest, DepositMovesViewsAndZeroesPrivateMap) {
+  FakeReducer r;
+  install(w(0), r, spa::offset(0, 5), "A");
+  ViewSetDeposit dep;
+  w(0).deposit_ambient(&dep);
+  EXPECT_TRUE(w(0).ambient_empty());
+  ASSERT_EQ(dep.spa.size(), 1u);
+  EXPECT_EQ(dep.spa[0].page_index, 0u);
+  EXPECT_EQ(dep.spa[0].page->num_valid, 1u);
+  // Clean up: install back and collapse.
+  w(0).install_deposit(&dep);
+  w(0).collapse_ambient_into_leftmosts();
+  EXPECT_EQ(r.collapsed, "A");
+}
+
+TEST_F(ViewMergeTest, MergeLeftPutsDepositBeforeAmbient) {
+  FakeReducer r;
+  const auto off = spa::offset(0, 7);
+  // Worker 0 (victim, serially earlier) deposits "L"; worker 1 (thief)
+  // holds ambient "R". merge_deposit_left must produce "LR".
+  install(w(0), r, off, "L");
+  ViewSetDeposit dep;
+  w(0).deposit_ambient(&dep);
+
+  install(w(1), r, off, "R");
+  w(1).merge_deposit_left(&dep);
+  EXPECT_EQ(spa_text(w(1), off), "LR");
+  w(1).collapse_ambient_into_leftmosts();
+  EXPECT_EQ(r.collapsed, "LR");
+}
+
+TEST_F(ViewMergeTest, MergeRightPutsDepositAfterAmbient) {
+  FakeReducer r;
+  const auto off = spa::offset(0, 9);
+  install(w(1), r, off, "R");
+  ViewSetDeposit dep;
+  w(1).deposit_ambient(&dep);
+
+  install(w(0), r, off, "L");
+  w(0).merge_deposit_right(&dep);
+  EXPECT_EQ(spa_text(w(0), off), "LR");
+  w(0).collapse_ambient_into_leftmosts();
+  EXPECT_EQ(r.collapsed, "LR");
+}
+
+TEST_F(ViewMergeTest, MergeAdoptsViewsAbsentFromAmbient) {
+  FakeReducer r1, r2;
+  const auto off1 = spa::offset(0, 1), off2 = spa::offset(0, 2);
+  install(w(0), r1, off1, "X");
+  install(w(0), r2, off2, "Y");
+  ViewSetDeposit dep;
+  w(0).deposit_ambient(&dep);
+
+  // Ambient has a view only for r1.
+  install(w(1), r1, off1, "Z");
+  w(1).merge_deposit_left(&dep);
+  EXPECT_EQ(spa_text(w(1), off1), "XZ");
+  EXPECT_EQ(spa_text(w(1), off2), "Y");  // adopted untouched
+  w(1).collapse_ambient_into_leftmosts();
+}
+
+TEST_F(ViewMergeTest, DoubleDepositInstallThenMergeRight) {
+  // The victim-last join case: both sides deposited; the resumer reinstalls
+  // the left deposit into its empty ambient, then merges the right one.
+  FakeReducer r;
+  const auto off = spa::offset(1, 3);  // second SPA page
+  install(w(0), r, off, "A");
+  ViewSetDeposit left;
+  w(0).deposit_ambient(&left);
+
+  install(w(0), r, off, "B");
+  ViewSetDeposit right;
+  w(0).deposit_ambient(&right);
+
+  EXPECT_TRUE(w(0).ambient_empty());
+  w(0).install_deposit(&left);
+  w(0).merge_deposit_right(&right);
+  EXPECT_EQ(spa_text(w(0), off), "AB");
+  w(0).collapse_ambient_into_leftmosts();
+  EXPECT_EQ(r.collapsed, "AB");
+}
+
+TEST_F(ViewMergeTest, HypermapDepositIsPointerSwitchAndOrderCorrect) {
+  FakeReducer r;
+  // Hypermap side of the same protocol.
+  w(0).hmap().insert(&r, new StrView{"L"}, &r.ops);
+  ViewSetDeposit dep;
+  w(0).deposit_ambient(&dep);
+  EXPECT_TRUE(w(0).hmap().empty());
+  EXPECT_EQ(dep.hmap.size(), 1u);
+
+  w(1).hmap().insert(&r, new StrView{"R"}, &r.ops);
+  w(1).merge_deposit_left(&dep);
+  auto* entry = w(1).hmap().lookup(&r);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(static_cast<StrView*>(entry->view)->text, "LR");
+  w(1).collapse_ambient_into_leftmosts();
+  EXPECT_EQ(r.collapsed, "LR");
+}
+
+TEST_F(ViewMergeTest, HypermapMergeIteratesSmallerMapBothDirections) {
+  // Deposit larger than ambient triggers the swap optimisation; operand
+  // order must survive it.
+  FakeReducer rs[8];
+  for (auto& r : rs) {
+    w(0).hmap().insert(&r, new StrView{"l"}, &r.ops);
+  }
+  ViewSetDeposit dep;
+  w(0).deposit_ambient(&dep);  // 8 entries
+
+  w(1).hmap().insert(&rs[2], new StrView{"r"}, &rs[2].ops);  // 1 entry
+  w(1).merge_deposit_left(&dep);
+  EXPECT_EQ(w(1).hmap().size(), 8u);
+  EXPECT_EQ(static_cast<StrView*>(w(1).hmap().lookup(&rs[2])->view)->text,
+            "lr");
+  EXPECT_EQ(static_cast<StrView*>(w(1).hmap().lookup(&rs[5])->view)->text,
+            "l");
+  w(1).collapse_ambient_into_leftmosts();
+}
+
+TEST_F(ViewMergeTest, ManyPagesTransferal) {
+  // Views spanning several SPA pages transfer and merge page by page.
+  FakeReducer r;
+  std::vector<std::uint64_t> offsets;
+  for (std::uint32_t page = 0; page < 5; ++page) {
+    for (std::uint32_t idx = 0; idx < 3; ++idx) {
+      const auto off = spa::offset(page, idx * 80);
+      offsets.push_back(off);
+      install(w(0), r, off, "p" + std::to_string(page));
+    }
+  }
+  ViewSetDeposit dep;
+  w(0).deposit_ambient(&dep);
+  EXPECT_EQ(dep.spa.size(), 5u);
+
+  w(1).merge_deposit_left(&dep);  // all adopted (empty ambient)
+  for (const auto off : offsets) EXPECT_FALSE(w(1).slot_at(off)->empty());
+  w(1).collapse_ambient_into_leftmosts();
+  EXPECT_TRUE(w(1).ambient_empty());
+}
+
+}  // namespace
