@@ -47,11 +47,45 @@ double time_alloc_cycle(int iters, bool pooled, std::size_t bytes) {
   return static_cast<double>(t1 - t0) / iters;
 }
 
+template <typename Policy>
+void end_to_end(cilkm::Scheduler& sched, int reps, bench::JsonReport& report) {
+  const char* name = cilkm::policy_traits<Policy>::name;
+  double total_s = 0, create_us = 0, insert_us = 0;
+  std::uint64_t views = 0;
+  for (int r = 0; r < reps; ++r) {
+    sched.reset_stats();
+    const auto t0 = cilkm::now_ns();
+    sched.run([&] {
+      bench::MicroBench<Policy>::add_n(256, 1 << 20, 1024, 2048);
+    });
+    const auto t1 = cilkm::now_ns();
+    total_s += static_cast<double>(t1 - t0) / 1e9;
+    const auto stats = sched.aggregate_stats();
+    create_us +=
+        static_cast<double>(stats[cilkm::StatCounter::kViewCreateNs]) / 1e3;
+    insert_us +=
+        static_cast<double>(stats[cilkm::StatCounter::kViewInsertNs]) / 1e3;
+    views += stats[cilkm::StatCounter::kViewsCreated];
+  }
+  total_s /= reps;
+  create_us /= reps;
+  insert_us /= reps;
+  views /= static_cast<std::uint64_t>(reps);
+  std::printf("%-10s %12.4f %12.1f %12.1f %10llu\n", name, total_s, create_us,
+              insert_us, static_cast<unsigned long long>(views));
+  report.add(std::string("e2e:") + name, 256,
+             {{"time_s", total_s},
+              {"view_create_us", create_us},
+              {"view_insert_us", insert_us},
+              {"views", static_cast<double>(views)}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int reps = static_cast<int>(bench::flag_int(argc, argv, "--reps", 5));
   const int iters = 200000;
+  bench::JsonReport report("abl_views");
 
   std::printf("# Ablation: view allocation, Hoard-style pool vs heap "
               "(ns per alloc/free cycle, %d iterations)\n",
@@ -66,28 +100,21 @@ int main(int argc, char** argv) {
     }
     std::printf("%-10zu %12.1f %12.1f %9.2fx\n", bytes, pool_ns / reps,
                 heap_ns / reps, heap_ns / pool_ns);
+    report.add("alloc:pool", static_cast<double>(bytes),
+               {{"ns_per_cycle", pool_ns / reps}});
+    report.add("alloc:heap", static_cast<double>(bytes),
+               {{"ns_per_cycle", heap_ns / reps}});
   }
 
   // End-to-end: reduce overhead (which includes view creation) under a
-  // steal-heavy add-n run.
-  std::printf("\n# End-to-end: Cilk-M view-creation overhead in a "
-              "steal-heavy add-256 run (16 workers)\n");
+  // steal-heavy add-256 run, for each view-store policy.
+  std::printf("\n# End-to-end: steal-heavy add-256 run (16 workers), per "
+              "view-store policy\n");
+  std::printf("%-10s %12s %12s %12s %10s\n", "policy", "time (s)",
+              "create (us)", "insert (us)", "views");
   cilkm::Scheduler sched(16);
-  double create_us = 0;
-  std::uint64_t views = 0;
-  for (int r = 0; r < reps; ++r) {
-    sched.reset_stats();
-    sched.run([&] {
-      bench::MicroBench<cilkm::mm_policy>::add_n(256, 1 << 20, 1024, 2048);
-    });
-    const auto stats = sched.aggregate_stats();
-    create_us +=
-        static_cast<double>(stats[cilkm::StatCounter::kViewCreateNs]) / 1e3;
-    views += stats[cilkm::StatCounter::kViewsCreated];
-  }
-  std::printf("view creation: %.1f us for %llu views (%.0f ns/view, pooled)\n",
-              create_us / reps,
-              static_cast<unsigned long long>(views / static_cast<std::uint64_t>(reps)),
-              1e3 * create_us / static_cast<double>(views));
+  end_to_end<cilkm::mm_policy>(sched, reps, report);
+  end_to_end<cilkm::hypermap_policy>(sched, reps, report);
+  end_to_end<cilkm::flat_policy>(sched, reps, report);
   return 0;
 }

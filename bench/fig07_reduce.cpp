@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %14s %14s %10s %10s %10s\n", "bench", "Cilk-M (us)",
               "Cilk Plus (us)", "ratio", "steals-M", "steals-P");
 
+  bench::JsonReport report("fig07_reduce");
   cilkm::Scheduler sched(procs);
   for (unsigned n = 4; n <= 1024; n *= 2) {
     const auto mm = measure<cilkm::mm_policy>(sched, n, lookups, reps);
@@ -70,6 +71,17 @@ int main(int argc, char** argv) {
                 hyper.total_us() / (mm.total_us() > 0 ? mm.total_us() : 1e-9),
                 static_cast<unsigned long long>(mm.steals),
                 static_cast<unsigned long long>(hyper.steals));
+    const auto add_row = [&](const char* name, const Overheads& o) {
+      report.add(name, n,
+                 {{"create_us", o.create_us},
+                  {"insert_us", o.insert_us},
+                  {"transfer_us", o.transfer_us},
+                  {"merge_us", o.merge_us},
+                  {"total_us", o.total_us()},
+                  {"steals", static_cast<double>(o.steals)}});
+    };
+    add_row("mm", mm);
+    add_row("hypermap", hyper);
   }
   std::printf("# paper: Cilk Plus reduce overhead much higher, gap grows "
               "with n (view insertion dominates); comparable steal counts\n");

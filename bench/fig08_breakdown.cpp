@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %12s %12s %12s %12s %12s %10s\n", "bench", "create",
               "insert", "hypermerge", "transferal", "total", "views");
 
+  bench::JsonReport report("fig08_breakdown");
   cilkm::Scheduler sched(procs);
   for (unsigned n = 4; n <= 1024; n *= 2) {
     double create = 0, insert = 0, merge = 0, transfer = 0;
@@ -48,6 +49,13 @@ int main(int argc, char** argv) {
                 n, create, insert, merge, transfer,
                 create + insert + merge + transfer,
                 static_cast<unsigned long long>(views));
+    report.add("mm", n,
+               {{"create_us", create},
+                {"insert_us", insert},
+                {"merge_us", merge},
+                {"transfer_us", transfer},
+                {"total_us", create + insert + merge + transfer},
+                {"views", static_cast<double>(views)}});
   }
   std::printf("# paper: view creation dominates; transferal grows slowly "
               "with n (the SPA map sequences efficiently)\n");

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   constexpr unsigned kProcs[] = {1, 2, 4, 8, 16};
 
   double base[5] = {};
+  bench::JsonReport report("fig09_speedup");
 
   std::printf("# Figure 9: speedup of add-n over the 1-worker execution "
               "(Cilk-M, %llu lookups)\n",
@@ -42,6 +43,8 @@ int main(int argc, char** argv) {
       });
       if (p == 1) base[ni] = mean;
       std::printf(" %12.2f", base[ni] / mean);
+      report.add("add-" + std::to_string(kNs[ni]), p,
+                 {{"time_s", mean}, {"speedup", base[ni] / mean}});
     }
     std::printf("\n");
   }

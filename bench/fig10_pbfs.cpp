@@ -92,9 +92,18 @@ int main(int argc, char** argv) {
   std::printf("\n# Figure 10(a): Cilk-M execution time normalized to "
               "Cilk Plus (lower-than-1 = Cilk-M faster)\n");
   std::printf("%-12s %14s %14s\n", "name", "P=1", "P=16");
-  for (const auto& r : rows) {
+  bench::JsonReport report("fig10_pbfs");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
     std::printf("%-12s %14.3f %14.3f\n", r.name.c_str(), r.ratio_p1,
                 r.ratio_p16);
+    report.add(r.name, static_cast<double>(i),
+               {{"vertices", static_cast<double>(r.v)},
+                {"edges", static_cast<double>(r.e)},
+                {"diameter", static_cast<double>(r.diameter)},
+                {"lookups", static_cast<double>(r.lookups)},
+                {"ratio_p1", r.ratio_p1},
+                {"ratio_p16", r.ratio_p16}});
   }
   std::printf("# paper: ~1.0 (Cilk-M slightly slower) serial; 0.7-0.9 "
               "(Cilk-M faster) on 16 procs\n");

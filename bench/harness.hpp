@@ -1,15 +1,19 @@
-// Shared benchmark harness: repetition with mean/stddev, flag parsing, and
-// the microbenchmark kernels of paper Figure 4 (add-n / min-n / max-n and
-// the add-base-n control), parameterised over the reducer mechanism.
+// Shared benchmark harness: repetition with mean/stddev, flag parsing,
+// machine-readable JSON reporting (one BENCH_<figure>.json per figure, so
+// the perf trajectory is tracked across PRs), and the microbenchmark
+// kernels of paper Figure 4 (add-n / min-n / max-n and the add-base-n
+// control), parameterised over the reducer view-store policy.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "reducers/reducers.hpp"
@@ -17,6 +21,78 @@
 #include "util/timing.hpp"
 
 namespace bench {
+
+/// Machine-readable companion to each figure's console table. Collects
+/// (series, x, metrics) rows and writes BENCH_<figure>.json in the working
+/// directory when flushed (or destroyed), e.g.
+///
+///   {"figure": "fig06_lookup", "schema": "cilkm-bench-v1",
+///    "rows": [{"series": "mm", "x": 4, "metrics": {"overhead_s": 0.012}}]}
+class JsonReport {
+ public:
+  explicit JsonReport(std::string figure) : figure_(std::move(figure)) {}
+  ~JsonReport() { flush(); }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(std::string series, double x,
+           std::initializer_list<std::pair<const char*, double>> metrics) {
+    Row row;
+    row.series = std::move(series);
+    row.x = x;
+    for (const auto& [key, value] : metrics) row.metrics.emplace_back(key, value);
+    rows_.push_back(std::move(row));
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const std::string path = "BENCH_" + figure_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"schema\": \"cilkm-bench-v1\",\n"
+                    "  \"rows\": [",
+                 figure_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f, "%s\n    {\"series\": \"%s\", ", i == 0 ? "" : ",",
+                   row.series.c_str());
+      print_number(f, "x", row.x);
+      std::fprintf(f, ", \"metrics\": {");
+      for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+        if (m != 0) std::fprintf(f, ", ");
+        print_number(f, row.metrics[m].first.c_str(), row.metrics[m].second);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    double x = 0;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  // JSON has no NaN/Inf literals; emit null for non-finite values.
+  static void print_number(std::FILE* f, const char* key, double v) {
+    if (std::isfinite(v)) {
+      std::fprintf(f, "\"%s\": %.17g", key, v);
+    } else {
+      std::fprintf(f, "\"%s\": null", key);
+    }
+  }
+
+  std::string figure_;
+  std::vector<Row> rows_;
+  bool flushed_ = false;
+};
 
 struct RunStat {
   double mean_s = 0;

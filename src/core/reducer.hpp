@@ -1,6 +1,7 @@
 // Reducer hyperobjects (paper Sections 2, 5, 6): the public reducer<Monoid,
-// Policy> template, with two interchangeable runtime mechanisms selected at
-// compile time per reducer —
+// Policy> template, with three interchangeable runtime mechanisms selected
+// at compile time per reducer — each one an implementation of the ViewStore
+// contract (views/view_store.hpp):
 //
 //   mm_policy        the paper's contribution: thread-local indirection
 //                    through the (emulated) TLMM region. The reducer stores
@@ -11,8 +12,12 @@
 //   hypermap_policy  the Cilk Plus baseline: a per-worker hash table keyed
 //                    by the reducer's address.
 //
-// Both mechanisms share the ViewOps ABI, the view-transferal/hypermerge
-// engine in the runtime, and these semantics: the value observed after
+//   flat_policy      ablation upper bound: a dense per-worker array indexed
+//                    by a globally allocated reducer id — no hashing, no
+//                    mmap emulation; a lookup is a bounds check and a load.
+//
+// All mechanisms share the ViewOps ABI, the view-transferal/hypermerge
+// engine in the views layer, and these semantics: the value observed after
 // quiescence equals the serial-execution result whenever the monoid's
 // reduce operation is associative.
 #pragma once
@@ -28,6 +33,8 @@
 #include "tlmm/region.hpp"
 #include "util/pool_alloc.hpp"
 #include "util/timing.hpp"
+#include "views/flat_registry.hpp"
+#include "views/view_store.hpp"
 
 namespace cilkm {
 
@@ -46,13 +53,36 @@ concept MonoidFor = requires(M m, typename M::value_type& a,
 
 struct mm_policy {};
 struct hypermap_policy {};
+struct flat_policy {};
+
+/// Display/series names for the policies, used by benches and reports.
+template <typename Policy>
+struct policy_traits;
+template <>
+struct policy_traits<mm_policy> {
+  static constexpr const char* name = "mm";
+};
+template <>
+struct policy_traits<hypermap_policy> {
+  static constexpr const char* name = "hypermap";
+};
+template <>
+struct policy_traits<flat_policy> {
+  static constexpr const char* name = "flat";
+};
 
 template <MonoidFor M, typename Policy = mm_policy>
 class reducer {
  public:
   using value_type = typename M::value_type;
   using monoid_type = M;
+  using policy_type = Policy;
   static constexpr bool is_memory_mapped = std::is_same_v<Policy, mm_policy>;
+  static constexpr bool is_flat = std::is_same_v<Policy, flat_policy>;
+  static constexpr bool is_hypermap =
+      std::is_same_v<Policy, hypermap_policy>;
+  static_assert(is_memory_mapped || is_flat || is_hypermap,
+                "Policy must be mm_policy, hypermap_policy, or flat_policy");
 
   reducer() : reducer(M{}) {}
 
@@ -70,24 +100,25 @@ class reducer {
 
   ~reducer() {
     // Fold any view the destroying worker still holds, then release the
-    // slot. Destroying a reducer while logically-parallel updates to it are
+    // key. Destroying a reducer while logically-parallel updates to it are
     // outstanding is a precondition violation, as in Cilk Plus.
     if (rt::Worker* w = rt::Worker::current()) {
+      void* view = nullptr;
       if constexpr (is_memory_mapped) {
-        if (void* view = w->ambient_extract_spa(tlmm_addr_)) {
-          collapse_view(static_cast<value_type*>(view));
-        }
+        view = w->views().spa().extract(tlmm_addr_);
+      } else if constexpr (is_flat) {
+        view = w->views().flat().extract(flat_id_);
       } else {
-        if (auto* entry = w->hmap().lookup(this)) {
-          collapse_view(static_cast<value_type*>(entry->view));
-          w->hmap().erase(this);
-        }
+        view = w->views().hypermap().extract(this);
       }
+      if (view != nullptr) collapse_view(static_cast<value_type*>(view));
     }
     if constexpr (is_memory_mapped) {
       rt::Worker* w = rt::Worker::current();
-      spa::SlotAllocator::instance().free(tlmm_addr_,
-                                          w ? &w->slot_cache() : nullptr);
+      spa::SlotAllocator::instance().free(
+          tlmm_addr_, w ? &w->views().spa().slot_cache() : nullptr);
+    } else if constexpr (is_flat) {
+      views::FlatIdAllocator::instance().free(flat_id_);
     }
   }
 
@@ -108,10 +139,19 @@ class reducer {
         return *miss_mm();
       }
       return leftmost_;
+    } else if constexpr (is_flat) {
+      rt::Worker* w = rt::Worker::current();
+      if (w != nullptr) [[likely]] {
+        if (void* v = w->views().flat().lookup(flat_id_)) [[likely]] {
+          return *static_cast<value_type*>(v);
+        }
+        return *miss_flat(w);
+      }
+      return leftmost_;
     } else {
       rt::Worker* w = rt::Worker::current();
       if (w != nullptr) [[likely]] {
-        if (auto* entry = w->hmap().lookup(this)) [[likely]] {
+        if (auto* entry = w->views().hypermap().lookup(this)) [[likely]] {
           return *static_cast<value_type*>(entry->view);
         }
         return *miss_hypermap(w);
@@ -147,6 +187,9 @@ class reducer {
   /// The reducer's slot offset in the emulated TLMM region (mm policy).
   std::uint64_t tlmm_addr() const noexcept { return tlmm_addr_; }
 
+  /// The reducer's dense id in the flat view store (flat policy).
+  std::uint32_t flat_id() const noexcept { return flat_id_; }
+
  private:
   void init() {
     ops_.create_identity = &s_create_identity;
@@ -157,7 +200,9 @@ class reducer {
     if constexpr (is_memory_mapped) {
       rt::Worker* w = rt::Worker::current();
       tlmm_addr_ = spa::SlotAllocator::instance().allocate(
-          w ? &w->slot_cache() : nullptr);
+          w ? &w->views().spa().slot_cache() : nullptr);
+    } else if constexpr (is_flat) {
+      flat_id_ = views::FlatIdAllocator::instance().allocate();
     }
   }
 
@@ -174,14 +219,19 @@ class reducer {
     rt::Worker* w = rt::Worker::current();
     CILKM_CHECK(w != nullptr, "TLMM region set but no current worker");
     value_type* view = make_identity(w);
-    w->ambient_install_spa(tlmm_addr_, view, &ops_);
+    w->views().spa().install(tlmm_addr_, view, &ops_);
+    return view;
+  }
+
+  value_type* miss_flat(rt::Worker* w) {
+    value_type* view = make_identity(w);
+    w->views().flat().install(flat_id_, view, &ops_);
     return view;
   }
 
   value_type* miss_hypermap(rt::Worker* w) {
     value_type* view = make_identity(w);
-    ScopedTimerNs timer(w->stats()[StatCounter::kViewInsertNs]);
-    w->hmap().insert(this, view, &ops_);
+    w->views().hypermap().install(this, view, &ops_);
     return view;
   }
 
@@ -212,7 +262,8 @@ class reducer {
 
   M monoid_;
   value_type leftmost_;
-  std::uint64_t tlmm_addr_ = 0;
+  std::uint64_t tlmm_addr_ = 0;  // mm policy key
+  std::uint32_t flat_id_ = 0;    // flat policy key
   ViewOps ops_{};
 };
 

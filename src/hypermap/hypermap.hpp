@@ -48,20 +48,38 @@ class HyperMap {
   /// Find the entry for `key`, or nullptr. The hot lookup path.
   Entry* lookup(const void* key) noexcept {
     if (capacity_ == 0) return nullptr;
-    const std::size_t mask = capacity_ - 1;
-    std::size_t i = hash(key) & mask;
-    while (true) {
-      Entry& e = table_[i];
-      if (e.key == key) return &e;
-      if (e.key == nullptr) return nullptr;
-      i = (i + 1) & mask;
-    }
+    Entry& e = table_[probe(key)];
+    return e.key == key ? &e : nullptr;
   }
 
-  /// Insert a view for `key`; key must not be present.
+  /// Insert a view for `key`; the key must NOT be present. The precondition
+  /// is enforced in every build mode: a duplicate insert would corrupt
+  /// size_ and leak the old view, and the probe walk reads each key anyway,
+  /// so the check is free.
   void insert(const void* key, void* view, const ViewOps* ops) {
     if (size_ + 1 > capacity_ - capacity_ / 4) expand();
-    insert_nogrow(key, view, ops);
+    const std::size_t i = probe(key);
+    CILKM_CHECK(table_[i].key == nullptr, "duplicate hypermap insertion");
+    table_[i] = Entry{key, view, ops};
+    ++size_;
+  }
+
+  /// Insert a view for `key`, or overwrite an existing entry in place.
+  /// Returns the replaced view (the caller owns destroying it), or nullptr
+  /// if the key was absent. A replacement changes neither size() nor
+  /// capacity().
+  void* insert_or_assign(const void* key, void* view, const ViewOps* ops) {
+    if (capacity_ != 0) {
+      Entry& e = table_[probe(key)];
+      if (e.key == key) {
+        void* old = e.view;
+        e.view = view;
+        e.ops = ops;
+        return old;
+      }
+    }
+    insert(key, view, ops);
+    return nullptr;
   }
 
   /// Remove the entry for `key` (reducer destruction mid-scope). Uses
@@ -104,22 +122,33 @@ class HyperMap {
     std::swap(size_, other.size_);
   }
 
- private:
+  /// The key hash (SplitMix64 finalizer over the pointer bits). Public so
+  /// tests can construct adversarial probe chains deterministically.
   static std::size_t hash(const void* key) noexcept {
-    // SplitMix64 finalizer over the pointer bits.
     std::uint64_t z = reinterpret_cast<std::uintptr_t>(key);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return static_cast<std::size_t>(z ^ (z >> 31));
   }
 
-  void insert_nogrow(const void* key, void* view, const ViewOps* ops) noexcept {
+ private:
+
+  /// Walk `key`'s probe chain: the index of its entry if present, else of
+  /// the first empty slot where it would be inserted. capacity_ != 0.
+  std::size_t probe(const void* key) const noexcept {
     const std::size_t mask = capacity_ - 1;
     std::size_t i = hash(key) & mask;
-    while (table_[i].key != nullptr) {
-      CILKM_DCHECK(table_[i].key != key, "duplicate hypermap insertion");
+    while (table_[i].key != nullptr && table_[i].key != key) {
       i = (i + 1) & mask;
     }
+    return i;
+  }
+
+  /// Rehash path only: keys come from the old table, so they are unique by
+  /// construction and the duplicate check can stay debug-only here.
+  void insert_nogrow(const void* key, void* view, const ViewOps* ops) noexcept {
+    const std::size_t i = probe(key);
+    CILKM_DCHECK(table_[i].key == nullptr, "duplicate hypermap insertion");
     table_[i] = Entry{key, view, ops};
     ++size_;
   }

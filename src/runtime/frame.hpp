@@ -8,24 +8,18 @@
 
 #include <atomic>
 #include <exception>
-#include <vector>
 
-#include "hypermap/hypermap.hpp"
 #include "runtime/context.hpp"
 #include "runtime/stack_pool.hpp"
-#include "spa/spa_map.hpp"
+#include "views/view_store.hpp"
 
 namespace cilkm::rt {
 
-/// A deposited set of local views: public SPA maps (memory-mapped reducers)
-/// plus a hypermap (hypermap reducers). Both mechanisms coexist in one
-/// program, which is how the benchmarks compare them in a single binary.
-struct ViewSetDeposit {
-  std::vector<spa::SpaDepositEntry> spa;
-  hypermap::HyperMap hmap;
-
-  bool empty() const noexcept { return spa.empty() && hmap.empty(); }
-};
+/// A deposited set of local views, one component per view store (SPA maps,
+/// hypermap, flat array). Defined by the views layer; re-exported here
+/// because the runtime embeds two deposit placeholders in every promoted
+/// spawn frame.
+using ViewSetDeposit = views::ViewSetDeposit;
 
 struct SpawnFrame {
   /// Type-erased invoker of the deferred branch `b` (set by SpawnFrameT).

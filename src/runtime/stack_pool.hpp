@@ -22,7 +22,11 @@ struct Fiber {
 /// Process-wide stack pool. Thread-safe.
 class StackPool {
  public:
-  static constexpr std::size_t kDefaultStackBytes = 1u << 20;  // 1 MiB virtual
+  // Stacks are lazily committed (MAP_NORESERVE) so a generous virtual size
+  // costs only the pages actually touched; 8 MiB matches the usual OS
+  // thread-stack default and leaves room for unoptimised (-O0) frames in
+  // deep spawn chains.
+  static constexpr std::size_t kDefaultStackBytes = 8u << 20;
 
   static StackPool& instance();
 

@@ -5,7 +5,6 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
 #include "util/assert.hpp"
-#include "util/timing.hpp"
 
 namespace cilkm::rt {
 
@@ -13,193 +12,22 @@ thread_local Worker* tls_worker = nullptr;
 
 Worker::Worker(Scheduler* sched, unsigned id) : id_(id), sched_(sched) {}
 
-Worker::~Worker() {
-  spa::SlotAllocator::instance().flush(slot_cache_);
-  spa::PagePool::instance().flush(page_pool_);
-}
+Worker::~Worker() = default;
 
 // ---------------------------------------------------------------------------
-// Private SPA-map bookkeeping
+// Scheduling: fibers, parking, stealing. All view bookkeeping is delegated
+// to views_ (the ViewStoreSet); this file only sequences the join protocol.
 // ---------------------------------------------------------------------------
 
-void Worker::ambient_install_spa(std::uint64_t offset, void* view,
-                                 const ViewOps* ops) {
-  ScopedTimerNs timer(stats_[StatCounter::kViewInsertNs]);
-  const std::uint32_t page_idx = spa::offset_page(offset);
-  spa::SpaPage* page = page_at(page_idx);
-  spa::ViewSlot* slot = slot_at(offset);
-  CILKM_DCHECK(slot->empty(), "installing over a live view");
-  slot->view = view;
-  slot->ops = ops;
-  const bool first_in_page = page->num_valid == 0;
-  page->note_insert(spa::offset_index(offset));
-  if (first_in_page) touched_pages_.push_back(page_idx);
-}
-
-void* Worker::ambient_extract_spa(std::uint64_t offset) {
-  spa::ViewSlot* slot = slot_at(offset);
-  if (slot->empty()) return nullptr;
-  void* view = slot->view;
-  *slot = spa::ViewSlot{nullptr, nullptr};
-  spa::SpaPage* page = page_at(spa::offset_page(offset));
-  CILKM_DCHECK(page->num_valid > 0, "page valid-count underflow");
-  --page->num_valid;
-  // The page stays in touched_pages_; transferal skips empty pages, and a
-  // stale log entry is harmless because the slot is now a null pair.
-  return view;
-}
-
-bool Worker::ambient_empty() const noexcept {
-  if (!hmap_.empty()) return false;
-  for (const std::uint32_t page_idx : touched_pages_) {
-    const auto* page = reinterpret_cast<const spa::SpaPage*>(
-        region_.base() + std::size_t{page_idx} * spa::kPageBytes);
-    if (!page->all_empty()) return false;
-  }
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// View transferal (paper Section 7) and hypermerge
-// ---------------------------------------------------------------------------
-
-void Worker::deposit_ambient(ViewSetDeposit* out) {
-  CILKM_DCHECK(out->empty(), "deposit placeholder already occupied");
-  {
-    ScopedTimerNs timer(stats_[StatCounter::kViewTransferNs]);
-    for (const std::uint32_t page_idx : touched_pages_) {
-      spa::SpaPage* priv = page_at(page_idx);
-      if (priv->all_empty()) continue;
-      spa::SpaPage* pub = spa::PagePool::instance().acquire(&page_pool_);
-      priv->for_each_valid([&](std::uint32_t idx, spa::ViewSlot& slot) {
-        pub->views[idx] = slot;
-        pub->note_insert(idx);
-        slot = spa::ViewSlot{nullptr, nullptr};
-        ++stats_[StatCounter::kViewsTransferred];
-      });
-      priv->num_valid = 0;
-      priv->num_logs = 0;
-      out->spa.push_back({page_idx, pub});
-    }
-    touched_pages_.clear();
-  }
-  // Hypermap transferal is a pointer switch, as in Cilk Plus.
-  out->hmap = std::move(hmap_);
-}
-
-void Worker::install_deposit(ViewSetDeposit* in) {
-  CILKM_DCHECK(ambient_empty(), "install_deposit requires an empty ambient");
-  for (auto& [page_idx, pub] : in->spa) {
-    pub->for_each_valid([&](std::uint32_t idx, spa::ViewSlot& dslot) {
-      ambient_install_spa(spa::slot_offset(page_idx, idx), dslot.view, dslot.ops);
-      dslot = spa::ViewSlot{nullptr, nullptr};
-    });
-    pub->num_valid = 0;
-    pub->num_logs = 0;
-    spa::PagePool::instance().release(pub, &page_pool_);
-  }
-  in->spa.clear();
-  hmap_ = std::move(in->hmap);
-}
-
-void Worker::merge_hmap(hypermap::HyperMap&& deposit, bool deposit_is_left) {
-  if (deposit.empty()) return;
-  // Sequence through the map with fewer views and reduce into the larger
-  // one (the paper's hypermerge rule). Swapping the table objects flips
-  // which physical map survives but not the ⊗ operand order.
-  bool ambient_is_storage = true;
-  if (deposit.size() > hmap_.size()) {
-    hmap_.swap(deposit);
-    ambient_is_storage = false;  // hmap_ now holds the deposit's entries
-    deposit_is_left = !deposit_is_left;
-    (void)ambient_is_storage;
-  }
-  deposit.for_each([&](hypermap::Entry& e) {
-    hypermap::Entry* mine = hmap_.lookup(e.key);
-    if (mine == nullptr) {
-      hmap_.insert(e.key, e.view, e.ops);
-      return;
-    }
-    if (deposit_is_left) {
-      // e is serially earlier: result = e.view ⊗ mine->view, kept in e.view.
-      e.ops->reduce(e.ops->reducer, e.view, mine->view);
-      mine->view = e.view;
-    } else {
-      mine->ops->reduce(mine->ops->reducer, mine->view, e.view);
-    }
-  });
-  deposit = hypermap::HyperMap{};
-}
-
-void Worker::merge_deposit_left(ViewSetDeposit* in) {
+void Worker::merge_left(ViewSetDeposit* in) {
   Tracer::instance().record(id_, TraceEvent::kMerge, in);
-  ScopedTimerNs timer(stats_[StatCounter::kHypermergeNs]);
-  ++stats_[StatCounter::kHypermerges];
-  for (auto& [page_idx, pub] : in->spa) {
-    pub->for_each_valid([&](std::uint32_t idx, spa::ViewSlot& dslot) {
-      const std::uint64_t offset = spa::slot_offset(page_idx, idx);
-      spa::ViewSlot* mine = slot_at(offset);
-      if (mine->empty()) {
-        ambient_install_spa(offset, dslot.view, dslot.ops);
-      } else {
-        // Deposit is serially earlier: fold our view into it, then adopt it.
-        dslot.ops->reduce(dslot.ops->reducer, dslot.view, mine->view);
-        mine->view = dslot.view;
-      }
-      dslot = spa::ViewSlot{nullptr, nullptr};
-    });
-    pub->num_valid = 0;
-    pub->num_logs = 0;
-    spa::PagePool::instance().release(pub, &page_pool_);
-  }
-  in->spa.clear();
-  merge_hmap(std::move(in->hmap), /*deposit_is_left=*/true);
+  views_.merge_deposit_left(in);
 }
 
-void Worker::merge_deposit_right(ViewSetDeposit* in) {
+void Worker::merge_right(ViewSetDeposit* in) {
   Tracer::instance().record(id_, TraceEvent::kMerge, in);
-  ScopedTimerNs timer(stats_[StatCounter::kHypermergeNs]);
-  ++stats_[StatCounter::kHypermerges];
-  for (auto& [page_idx, pub] : in->spa) {
-    pub->for_each_valid([&](std::uint32_t idx, spa::ViewSlot& dslot) {
-      const std::uint64_t offset = spa::slot_offset(page_idx, idx);
-      spa::ViewSlot* mine = slot_at(offset);
-      if (mine->empty()) {
-        ambient_install_spa(offset, dslot.view, dslot.ops);
-      } else {
-        mine->ops->reduce(mine->ops->reducer, mine->view, dslot.view);
-      }
-      dslot = spa::ViewSlot{nullptr, nullptr};
-    });
-    pub->num_valid = 0;
-    pub->num_logs = 0;
-    spa::PagePool::instance().release(pub, &page_pool_);
-  }
-  in->spa.clear();
-  merge_hmap(std::move(in->hmap), /*deposit_is_left=*/false);
+  views_.merge_deposit_right(in);
 }
-
-void Worker::collapse_ambient_into_leftmosts() {
-  for (const std::uint32_t page_idx : touched_pages_) {
-    spa::SpaPage* page = page_at(page_idx);
-    if (page->all_empty()) continue;
-    page->for_each_valid([&](std::uint32_t, spa::ViewSlot& slot) {
-      slot.ops->collapse(slot.ops->reducer, slot.view);
-      slot = spa::ViewSlot{nullptr, nullptr};
-    });
-    page->num_valid = 0;
-    page->num_logs = 0;
-  }
-  touched_pages_.clear();
-  hmap_.for_each([&](hypermap::Entry& e) {
-    e.ops->collapse(e.ops->reducer, e.view);
-  });
-  hmap_.clear();
-}
-
-// ---------------------------------------------------------------------------
-// Scheduling: fibers, parking, stealing
-// ---------------------------------------------------------------------------
 
 void Worker::drain_pending() {
   if (pending_recycle_ != nullptr) {
@@ -226,7 +54,7 @@ void fiber_main(void* arg) {
       sched->root_eptr_ = std::current_exception();
     }
     Worker* w2 = Worker::current();  // the root may have migrated
-    w2->collapse_ambient_into_leftmosts();
+    w2->views().collapse_into_leftmosts();
     w2->pending_recycle_ = w2->current_fiber_;
     w2->current_fiber_ = nullptr;
     Tracer::instance().record(w2->id(), TraceEvent::kRootDone, nullptr);
@@ -246,7 +74,7 @@ void fiber_main(void* arg) {
     // its deposit and context save are complete). Merge its serially
     // earlier views on the left of ours and perform the joining steal —
     // resume the parked continuation on this worker, no deposit needed.
-    w2->merge_deposit_left(&frame->left_views);
+    w2->merge_left(&frame->left_views);
     ++w2->stats_[StatCounter::kJoiningSteals];
     Tracer::instance().record(w2->id(), TraceEvent::kResumeByThief, frame);
     w2->pending_recycle_ = w2->current_fiber_;
@@ -257,13 +85,13 @@ void fiber_main(void* arg) {
   // Deposit our views on the right, THEN announce the arrival: the other
   // side must never observe a half-built deposit.
   Tracer::instance().record(w2->id(), TraceEvent::kDepositRight, frame);
-  w2->deposit_ambient(&frame->right_views);
+  w2->views().deposit_ambient(&frame->right_views);
   if (frame->arrivals.fetch_add(1, std::memory_order_acq_rel) == 1) {
     // The victim parked in the meantime and we arrived last: both deposits
     // exist and our ambient is empty. Reinstall the victim's (left) views,
     // merge our own deposit back on the right, and resume the continuation.
-    w2->install_deposit(&frame->left_views);
-    w2->merge_deposit_right(&frame->right_views);
+    w2->views().install_deposit(&frame->left_views);
+    w2->merge_right(&frame->right_views);
     ++w2->stats_[StatCounter::kJoiningSteals];
     Tracer::instance().record(w2->id(), TraceEvent::kResumeByThief, frame);
     w2->pending_recycle_ = w2->current_fiber_;
@@ -293,14 +121,14 @@ void Worker::join_slow(SpawnFrame* frame) {
   if (frame->arrivals.load(std::memory_order_acquire) == 1) {
     // The thief has already deposited and left: merge its views on the
     // right of ours and carry on without parking.
-    w->merge_deposit_right(&frame->right_views);
+    w->merge_right(&frame->right_views);
     return;
   }
   // Park: transfer our views (serially earlier than the thief's) into the
   // frame, suspend this fiber, and let the scheduler announce our arrival
   // once the context is fully saved.
   Tracer::instance().record(w->id(), TraceEvent::kDepositLeft, frame);
-  w->deposit_ambient(&frame->left_views);
+  w->views().deposit_ambient(&frame->left_views);
   Tracer::instance().record(w->id(), TraceEvent::kPark, frame);
   frame->parked_fiber = w->current_fiber_;
   w->pending_park_ = frame;
@@ -322,8 +150,8 @@ void Worker::scheduler_loop() {
         // The thief finished in the meantime: both deposits exist. Take our
         // own views back, merge the thief's on the right, and resume the
         // continuation ourselves.
-        install_deposit(&frame->left_views);
-        merge_deposit_right(&frame->right_views);
+        views_.install_deposit(&frame->left_views);
+        merge_right(&frame->right_views);
         Tracer::instance().record(id_, TraceEvent::kResumeSelf, frame);
         current_fiber_ = frame->parked_fiber;
         cilkm_ctx_switch(&sched_ctx_, &frame->parked);

@@ -1,19 +1,17 @@
-// A worker thread: its deque, its private view state for both reducer
-// mechanisms (the emulated-TLMM SPA region and the hypermap), its scheduling
-// contexts, and the view-transferal / hypermerge engine (paper Sections 3
-// and 7).
+// A worker thread: its deque, its scheduling contexts, and one ViewStoreSet
+// holding its private reducer-view state for every mechanism. The
+// view-transferal / hypermerge engine itself lives in the views layer
+// (views/view_store.hpp); the worker only decides WHEN to deposit, install,
+// or merge — the join protocol of paper Sections 3 and 7.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "runtime/deque.hpp"
 #include "runtime/frame.hpp"
-#include "spa/page_pool.hpp"
-#include "spa/slot_alloc.hpp"
-#include "tlmm/region.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "views/view_store.hpp"
 
 namespace cilkm::rt {
 
@@ -43,35 +41,15 @@ class Worker {
   /// May return on a *different* worker (the continuation migrates).
   static void join_slow(SpawnFrame* frame);
 
-  // ---- memory-mapped reducer (SPA) state ----
-  std::byte* region_base() noexcept { return region_.base(); }
-  spa::ViewSlot* slot_at(std::uint64_t offset) noexcept {
-    return reinterpret_cast<spa::ViewSlot*>(region_.base() + offset);
-  }
-  spa::SpaPage* page_at(std::uint32_t page) noexcept {
-    return reinterpret_cast<spa::SpaPage*>(region_.base() +
-                                           std::size_t{page} * spa::kPageBytes);
-  }
-  spa::LocalSlotCache& slot_cache() noexcept { return slot_cache_; }
+  // ---- reducer-view state (all mechanisms) ----
+  views::ViewStoreSet& views() noexcept { return views_; }
+  const views::ViewStoreSet& views() const noexcept { return views_; }
 
-  /// Install a freshly created view into the private SPA slot at `offset`
-  /// (the reducer lookup miss path and the merge-adopt path).
-  void ambient_install_spa(std::uint64_t offset, void* view, const ViewOps* ops);
+  /// Base of the emulated TLMM region (installed into TLS by the scheduler).
+  std::byte* region_base() noexcept { return views_.spa().base(); }
 
-  /// Remove the private view at `offset` if present (reducer destruction).
-  /// Returns the view pointer, or nullptr.
-  void* ambient_extract_spa(std::uint64_t offset);
-
-  // ---- hypermap reducer state ----
-  hypermap::HyperMap& hmap() noexcept { return hmap_; }
-
-  // ---- view transferal and hypermerge (both mechanisms) ----
-  void deposit_ambient(ViewSetDeposit* out);
-  void install_deposit(ViewSetDeposit* in);      // requires empty ambient
-  void merge_deposit_left(ViewSetDeposit* in);   // deposit ⊗ ambient
-  void merge_deposit_right(ViewSetDeposit* in);  // ambient ⊗ deposit
-  void collapse_ambient_into_leftmosts();
-  bool ambient_empty() const noexcept;
+  /// True iff this worker holds no live view in any store.
+  bool ambient_empty() const noexcept { return views_.empty(); }
 
  private:
   friend class Scheduler;
@@ -79,18 +57,19 @@ class Worker {
 
   void launch(SpawnFrame* frame_or_null_root);
   void drain_pending();
-  void merge_hmap(hypermap::HyperMap&& deposit, bool deposit_is_left);
+
+  // Trace-emitting wrappers around the views-layer merges, so every merge
+  // in the join protocol is recorded exactly once (the views layer knows
+  // nothing about workers or tracing).
+  void merge_left(ViewSetDeposit* in);
+  void merge_right(ViewSetDeposit* in);
 
   unsigned id_;
   Scheduler* sched_;
   Xoshiro256 rng_;
   WorkerStats stats_;
 
-  tlmm::WorkerRegion region_{spa::kRegionBytes};
-  std::vector<std::uint32_t> touched_pages_;
-  spa::LocalSlotCache slot_cache_;
-  spa::LocalPagePool page_pool_;
-  hypermap::HyperMap hmap_;
+  views::ViewStoreSet views_{&stats_};
 
   Context sched_ctx_;
   Fiber* current_fiber_ = nullptr;

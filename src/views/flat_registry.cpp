@@ -1,0 +1,32 @@
+#include "views/flat_registry.hpp"
+
+namespace cilkm::views {
+
+FlatIdAllocator& FlatIdAllocator::instance() {
+  static FlatIdAllocator allocator;
+  return allocator;
+}
+
+std::uint32_t FlatIdAllocator::allocate() {
+  std::lock_guard lock(mutex_);
+  ++live_;
+  if (!free_.empty()) {
+    const std::uint32_t id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+  return next_++;
+}
+
+void FlatIdAllocator::free(std::uint32_t id) {
+  std::lock_guard lock(mutex_);
+  --live_;
+  free_.push_back(id);
+}
+
+std::size_t FlatIdAllocator::live() {
+  std::lock_guard lock(mutex_);
+  return live_;
+}
+
+}  // namespace cilkm::views

@@ -1,0 +1,36 @@
+// Dense reducer-id allocation for flat_policy reducers. The flat view store
+// indexes a per-worker array by reducer id, so ids must be small, dense, and
+// aggressively recycled — a freed id is reused LIFO, mirroring the slot
+// recycling of the TLMM scheme (and keeping the per-worker arrays compact).
+// Allocation is a plain mutex-protected free list: reducer construction is
+// not a hot path, and the flat scheme's whole point is that it adds *no*
+// machinery beyond an array index.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cilkm::views {
+
+class FlatIdAllocator {
+ public:
+  static FlatIdAllocator& instance();
+
+  /// Allocate a dense reducer id, valid in every worker's flat store.
+  std::uint32_t allocate();
+
+  /// Return an id. The id's slot must already be empty in every store.
+  void free(std::uint32_t id);
+
+  /// Number of ids currently handed out (live flat reducers); test hook.
+  std::size_t live();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t next_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace cilkm::views

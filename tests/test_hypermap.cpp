@@ -2,6 +2,7 @@
 // growth, deletion with probe-chain repair, iteration, move semantics.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -118,6 +119,64 @@ TEST(HyperMap, ClearRemovesEverythingKeepsCapacity) {
   EXPECT_TRUE(map.empty());
   EXPECT_EQ(map.capacity(), cap);
   EXPECT_EQ(map.lookup(key(10)), nullptr);
+}
+
+TEST(HyperMapDeathTest, DuplicateInsertIsRejectedInAllBuildModes) {
+  // A duplicate insert used to be caught only by a debug-only DCHECK inside
+  // the probe loop; in release builds it silently corrupted size_ and
+  // leaked the old view. The precondition is now enforced unconditionally.
+  HyperMap map;
+  int v1 = 1, v2 = 2;
+  map.insert(key(1), &v1, nullptr);
+  EXPECT_DEATH(map.insert(key(1), &v2, nullptr),
+               "duplicate hypermap insertion");
+}
+
+TEST(HyperMap, InsertOrAssignReplacesInPlace) {
+  HyperMap map;
+  int v1 = 1, v2 = 2;
+  EXPECT_EQ(map.insert_or_assign(key(1), &v1, nullptr), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  // Replacement returns the old view (caller owns it) and keeps size_.
+  void* old = map.insert_or_assign(key(1), &v2, nullptr);
+  EXPECT_EQ(old, &v1);
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.lookup(key(1)), nullptr);
+  EXPECT_EQ(map.lookup(key(1))->view, &v2);
+}
+
+TEST(HyperMap, EraseRepairsWrappedProbeChain) {
+  // Build a probe chain that wraps around the end of the table: pick keys
+  // whose home slot is the LAST slot of the initial capacity-16 table, so
+  // the second and third collide past the wrap point, then erase the head
+  // of the chain. Backward-shift deletion must move the wrapped entries
+  // back across the boundary or they become unreachable.
+  HyperMap map;
+  const std::size_t cap = HyperMap::kInitialCapacity;
+  std::vector<const void*> tail_home_keys;
+  for (int i = 0; i < 4096 && tail_home_keys.size() < 3; ++i) {
+    if ((HyperMap::hash(key(i)) & (cap - 1)) == cap - 1) {
+      tail_home_keys.push_back(key(i));
+    }
+  }
+  ASSERT_EQ(tail_home_keys.size(), 3u) << "need 3 keys homing to slot 15";
+
+  int v = 0;
+  for (const void* k : tail_home_keys) map.insert(k, &v, nullptr);
+  ASSERT_EQ(map.capacity(), cap);  // no growth: the chain really wraps
+
+  map.erase(tail_home_keys[0]);  // head of the chain, at the home slot
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.lookup(tail_home_keys[0]), nullptr);
+  // The wrapped entries must have shifted back and still be reachable.
+  EXPECT_NE(map.lookup(tail_home_keys[1]), nullptr);
+  EXPECT_NE(map.lookup(tail_home_keys[2]), nullptr);
+
+  // Erase from the middle of the (now shorter) wrapped chain too.
+  map.erase(tail_home_keys[1]);
+  EXPECT_EQ(map.lookup(tail_home_keys[1]), nullptr);
+  EXPECT_NE(map.lookup(tail_home_keys[2]), nullptr);
+  EXPECT_EQ(map.size(), 1u);
 }
 
 TEST(HyperMap, AdversarialCollidingKeysStillWork) {

@@ -121,6 +121,10 @@ TEST_P(RandomDagProperty, HypermapMatchesSerialOracle) {
   run_property<cilkm::hypermap_policy>(GetParam());
 }
 
+TEST_P(RandomDagProperty, FlatMatchesSerialOracle) {
+  run_property<cilkm::flat_policy>(GetParam());
+}
+
 std::vector<Params> make_params() {
   std::vector<Params> out;
   for (const unsigned workers : {1u, 2u, 4u, 8u}) {

@@ -1,7 +1,7 @@
-// Direct unit tests of the worker-level view-transferal and hypermerge
-// engine (paper Sections 3 and 7), without any scheduling: a fake monoid
-// records every reduce call so operand ORDER — the heart of reducer
-// correctness for non-commutative monoids — is asserted exactly.
+// Direct unit tests of the view-transferal and hypermerge engine (paper
+// Sections 3 and 7) through the ViewStore layer, without any scheduling: a
+// fake monoid records every reduce call so operand ORDER — the heart of
+// reducer correctness for non-commutative monoids — is asserted exactly.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -11,6 +11,7 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/worker.hpp"
 #include "tlmm/region.hpp"
+#include "views/view_store.hpp"
 
 namespace spa {
 inline std::uint64_t offset(std::uint32_t page, std::uint32_t idx) {
@@ -53,7 +54,7 @@ struct FakeReducer {
 class ViewMergeTest : public ::testing::Test {
  protected:
   // Two workers from a scheduler that never runs: we drive the view engine
-  // by hand. The TLS region is pointed at whichever worker is "current".
+  // by hand through each worker's ViewStoreSet.
   ViewMergeTest() : sched_(2) {}
 
   ~ViewMergeTest() override { cilkm::tlmm::set_current_region(nullptr); }
@@ -62,11 +63,11 @@ class ViewMergeTest : public ::testing::Test {
 
   void install(Worker& worker, FakeReducer& r, std::uint64_t offset,
                const std::string& text) {
-    worker.ambient_install_spa(offset, new StrView{text}, &r.ops);
+    worker.views().spa().install(offset, new StrView{text}, &r.ops);
   }
 
   std::string spa_text(Worker& worker, std::uint64_t offset) {
-    auto* slot = worker.slot_at(offset);
+    auto* slot = worker.views().spa().slot_at(offset);
     return slot->empty() ? std::string{}
                          : static_cast<StrView*>(slot->view)->text;
   }
@@ -78,14 +79,14 @@ TEST_F(ViewMergeTest, DepositMovesViewsAndZeroesPrivateMap) {
   FakeReducer r;
   install(w(0), r, spa::offset(0, 5), "A");
   ViewSetDeposit dep;
-  w(0).deposit_ambient(&dep);
-  EXPECT_TRUE(w(0).ambient_empty());
+  w(0).views().deposit_ambient(&dep);
+  EXPECT_TRUE(w(0).views().empty());
   ASSERT_EQ(dep.spa.size(), 1u);
   EXPECT_EQ(dep.spa[0].page_index, 0u);
   EXPECT_EQ(dep.spa[0].page->num_valid, 1u);
   // Clean up: install back and collapse.
-  w(0).install_deposit(&dep);
-  w(0).collapse_ambient_into_leftmosts();
+  w(0).views().install_deposit(&dep);
+  w(0).views().collapse_into_leftmosts();
   EXPECT_EQ(r.collapsed, "A");
 }
 
@@ -96,12 +97,12 @@ TEST_F(ViewMergeTest, MergeLeftPutsDepositBeforeAmbient) {
   // holds ambient "R". merge_deposit_left must produce "LR".
   install(w(0), r, off, "L");
   ViewSetDeposit dep;
-  w(0).deposit_ambient(&dep);
+  w(0).views().deposit_ambient(&dep);
 
   install(w(1), r, off, "R");
-  w(1).merge_deposit_left(&dep);
+  w(1).views().merge_deposit_left(&dep);
   EXPECT_EQ(spa_text(w(1), off), "LR");
-  w(1).collapse_ambient_into_leftmosts();
+  w(1).views().collapse_into_leftmosts();
   EXPECT_EQ(r.collapsed, "LR");
 }
 
@@ -110,12 +111,12 @@ TEST_F(ViewMergeTest, MergeRightPutsDepositAfterAmbient) {
   const auto off = spa::offset(0, 9);
   install(w(1), r, off, "R");
   ViewSetDeposit dep;
-  w(1).deposit_ambient(&dep);
+  w(1).views().deposit_ambient(&dep);
 
   install(w(0), r, off, "L");
-  w(0).merge_deposit_right(&dep);
+  w(0).views().merge_deposit_right(&dep);
   EXPECT_EQ(spa_text(w(0), off), "LR");
-  w(0).collapse_ambient_into_leftmosts();
+  w(0).views().collapse_into_leftmosts();
   EXPECT_EQ(r.collapsed, "LR");
 }
 
@@ -125,14 +126,14 @@ TEST_F(ViewMergeTest, MergeAdoptsViewsAbsentFromAmbient) {
   install(w(0), r1, off1, "X");
   install(w(0), r2, off2, "Y");
   ViewSetDeposit dep;
-  w(0).deposit_ambient(&dep);
+  w(0).views().deposit_ambient(&dep);
 
   // Ambient has a view only for r1.
   install(w(1), r1, off1, "Z");
-  w(1).merge_deposit_left(&dep);
+  w(1).views().merge_deposit_left(&dep);
   EXPECT_EQ(spa_text(w(1), off1), "XZ");
   EXPECT_EQ(spa_text(w(1), off2), "Y");  // adopted untouched
-  w(1).collapse_ambient_into_leftmosts();
+  w(1).views().collapse_into_leftmosts();
 }
 
 TEST_F(ViewMergeTest, DoubleDepositInstallThenMergeRight) {
@@ -142,35 +143,35 @@ TEST_F(ViewMergeTest, DoubleDepositInstallThenMergeRight) {
   const auto off = spa::offset(1, 3);  // second SPA page
   install(w(0), r, off, "A");
   ViewSetDeposit left;
-  w(0).deposit_ambient(&left);
+  w(0).views().deposit_ambient(&left);
 
   install(w(0), r, off, "B");
   ViewSetDeposit right;
-  w(0).deposit_ambient(&right);
+  w(0).views().deposit_ambient(&right);
 
-  EXPECT_TRUE(w(0).ambient_empty());
-  w(0).install_deposit(&left);
-  w(0).merge_deposit_right(&right);
+  EXPECT_TRUE(w(0).views().empty());
+  w(0).views().install_deposit(&left);
+  w(0).views().merge_deposit_right(&right);
   EXPECT_EQ(spa_text(w(0), off), "AB");
-  w(0).collapse_ambient_into_leftmosts();
+  w(0).views().collapse_into_leftmosts();
   EXPECT_EQ(r.collapsed, "AB");
 }
 
 TEST_F(ViewMergeTest, HypermapDepositIsPointerSwitchAndOrderCorrect) {
   FakeReducer r;
   // Hypermap side of the same protocol.
-  w(0).hmap().insert(&r, new StrView{"L"}, &r.ops);
+  w(0).views().hypermap().install(&r, new StrView{"L"}, &r.ops);
   ViewSetDeposit dep;
-  w(0).deposit_ambient(&dep);
-  EXPECT_TRUE(w(0).hmap().empty());
+  w(0).views().deposit_ambient(&dep);
+  EXPECT_TRUE(w(0).views().hypermap().empty());
   EXPECT_EQ(dep.hmap.size(), 1u);
 
-  w(1).hmap().insert(&r, new StrView{"R"}, &r.ops);
-  w(1).merge_deposit_left(&dep);
-  auto* entry = w(1).hmap().lookup(&r);
+  w(1).views().hypermap().install(&r, new StrView{"R"}, &r.ops);
+  w(1).views().merge_deposit_left(&dep);
+  auto* entry = w(1).views().hypermap().lookup(&r);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(static_cast<StrView*>(entry->view)->text, "LR");
-  w(1).collapse_ambient_into_leftmosts();
+  w(1).views().collapse_into_leftmosts();
   EXPECT_EQ(r.collapsed, "LR");
 }
 
@@ -179,19 +180,50 @@ TEST_F(ViewMergeTest, HypermapMergeIteratesSmallerMapBothDirections) {
   // order must survive it.
   FakeReducer rs[8];
   for (auto& r : rs) {
-    w(0).hmap().insert(&r, new StrView{"l"}, &r.ops);
+    w(0).views().hypermap().install(&r, new StrView{"l"}, &r.ops);
   }
   ViewSetDeposit dep;
-  w(0).deposit_ambient(&dep);  // 8 entries
+  w(0).views().deposit_ambient(&dep);  // 8 entries
 
-  w(1).hmap().insert(&rs[2], new StrView{"r"}, &rs[2].ops);  // 1 entry
-  w(1).merge_deposit_left(&dep);
-  EXPECT_EQ(w(1).hmap().size(), 8u);
-  EXPECT_EQ(static_cast<StrView*>(w(1).hmap().lookup(&rs[2])->view)->text,
+  w(1).views().hypermap().install(&rs[2], new StrView{"r"}, &rs[2].ops);
+  w(1).views().merge_deposit_left(&dep);
+  EXPECT_EQ(w(1).views().hypermap().map().size(), 8u);
+  EXPECT_EQ(static_cast<StrView*>(
+                w(1).views().hypermap().lookup(&rs[2])->view)->text,
             "lr");
-  EXPECT_EQ(static_cast<StrView*>(w(1).hmap().lookup(&rs[5])->view)->text,
+  EXPECT_EQ(static_cast<StrView*>(
+                w(1).views().hypermap().lookup(&rs[5])->view)->text,
             "l");
-  w(1).collapse_ambient_into_leftmosts();
+  w(1).views().collapse_into_leftmosts();
+}
+
+TEST_F(ViewMergeTest, HypermapMergeRightSurvivesSwapOptimisation) {
+  // The swap path in the OTHER direction: a right-merged deposit larger
+  // than the ambient map flips deposit_is_left inside the merge; the
+  // result must still read ambient ⊗ deposit for the shared key.
+  FakeReducer rs[8];
+  // Thief-side deposit: 8 entries, all "r".
+  for (auto& r : rs) {
+    w(1).views().hypermap().install(&r, new StrView{"r"}, &r.ops);
+  }
+  ViewSetDeposit dep;
+  w(1).views().deposit_ambient(&dep);
+  ASSERT_EQ(dep.hmap.size(), 8u);
+
+  // Victim ambient: a single serially-earlier "l" for rs[3].
+  w(0).views().hypermap().install(&rs[3], new StrView{"l"}, &rs[3].ops);
+  w(0).views().merge_deposit_right(&dep);
+
+  EXPECT_EQ(w(0).views().hypermap().map().size(), 8u);
+  EXPECT_EQ(static_cast<StrView*>(
+                w(0).views().hypermap().lookup(&rs[3])->view)->text,
+            "lr");
+  EXPECT_EQ(static_cast<StrView*>(
+                w(0).views().hypermap().lookup(&rs[0])->view)->text,
+            "r");
+  w(0).views().collapse_into_leftmosts();
+  EXPECT_EQ(rs[3].collapsed, "lr");
+  EXPECT_EQ(rs[0].collapsed, "r");
 }
 
 TEST_F(ViewMergeTest, ManyPagesTransferal) {
@@ -206,13 +238,15 @@ TEST_F(ViewMergeTest, ManyPagesTransferal) {
     }
   }
   ViewSetDeposit dep;
-  w(0).deposit_ambient(&dep);
+  w(0).views().deposit_ambient(&dep);
   EXPECT_EQ(dep.spa.size(), 5u);
 
-  w(1).merge_deposit_left(&dep);  // all adopted (empty ambient)
-  for (const auto off : offsets) EXPECT_FALSE(w(1).slot_at(off)->empty());
-  w(1).collapse_ambient_into_leftmosts();
-  EXPECT_TRUE(w(1).ambient_empty());
+  w(1).views().merge_deposit_left(&dep);  // all adopted (empty ambient)
+  for (const auto off : offsets) {
+    EXPECT_FALSE(w(1).views().spa().slot_at(off)->empty());
+  }
+  w(1).views().collapse_into_leftmosts();
+  EXPECT_TRUE(w(1).views().empty());
 }
 
 }  // namespace
