@@ -5,6 +5,7 @@
 // control), parameterised over the reducer view-store policy.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -96,10 +97,39 @@ class JsonReport {
 
 struct RunStat {
   double mean_s = 0;
+  double median_s = 0;
   double stddev_s = 0;
 };
 
-/// Run `body` `reps` times; returns mean and standard deviation of wall time.
+/// Median of a sample set (the value reported by BENCH_*.json rows: robust
+/// against the occasional descheduled run on a shared host).
+inline double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? samples[n / 2]
+                    : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+}
+
+/// Mean/median/population-stddev of a sample set — the one definition of
+/// these statistics behind every BENCH_*.json producer (figure benches via
+/// repeat(), the workload driver via its per-cell samples).
+inline RunStat stats_of(std::vector<double> samples) {
+  RunStat out;
+  if (samples.empty()) return out;
+  const auto n = static_cast<double>(samples.size());
+  for (const double s : samples) out.mean_s += s;
+  out.mean_s /= n;
+  for (const double s : samples) {
+    out.stddev_s += (s - out.mean_s) * (s - out.mean_s);
+  }
+  out.stddev_s = std::sqrt(out.stddev_s / n);
+  out.median_s = median(std::move(samples));
+  return out;
+}
+
+/// Run `body` `reps` times; returns mean, median, and standard deviation of
+/// wall time.
 template <typename F>
 RunStat repeat(int reps, F&& body) {
   std::vector<double> samples;
@@ -110,14 +140,7 @@ RunStat repeat(int reps, F&& body) {
     const auto t1 = cilkm::now_ns();
     samples.push_back(static_cast<double>(t1 - t0) / 1e9);
   }
-  RunStat out;
-  for (const double s : samples) out.mean_s += s;
-  out.mean_s /= reps;
-  for (const double s : samples) {
-    out.stddev_s += (s - out.mean_s) * (s - out.mean_s);
-  }
-  out.stddev_s = std::sqrt(out.stddev_s / reps);
-  return out;
+  return stats_of(std::move(samples));
 }
 
 inline long flag_int(int argc, char** argv, const char* name, long def) {

@@ -1,94 +1,11 @@
-// N-queens: the classic Cilk search benchmark, counting solutions with an
-// add-reducer and (for the solution list) a vector reducer — demonstrating
-// SpawnGroup for irregular fan-out and that the collected solutions come
-// back in deterministic serial order.
+// N-queens, now a registered workload (src/workloads/w_nqueens.cpp): counts
+// solutions with an add-reducer and collects every board into a vector
+// reducer in deterministic serial order. This shim runs it under all three
+// view-store policies and self-verifies against the serial search.
 //
-//   $ ./nqueens [workers] [n]
-#include <cstdio>
-#include <cstdlib>
-#include <vector>
-
-#include "reducers/reducers.hpp"
-#include "runtime/api.hpp"
-
-namespace {
-
-constexpr int kMaxN = 16;
-
-struct Board {
-  int rows[kMaxN];
-  int n = 0;
-
-  bool safe(int row, int col) const {
-    for (int r = 0; r < row; ++r) {
-      const int c = rows[r];
-      if (c == col || c - r == col - row || c + r == col + row) return false;
-    }
-    return true;
-  }
-};
-
-void solve(Board board, int row, int n,
-           cilkm::reducer_opadd<long>& count,
-           cilkm::vector_reducer<std::uint64_t>& solutions) {
-  if (row == n) {
-    *count += 1;
-    std::uint64_t packed = 0;
-    for (int r = 0; r < n; ++r) {
-      packed |= static_cast<std::uint64_t>(board.rows[r]) << (4 * r);
-    }
-    solutions->push_back(packed);
-    return;
-  }
-  cilkm::SpawnGroup group;
-  for (int col = 0; col < n; ++col) {
-    if (!board.safe(row, col)) continue;
-    Board next = board;
-    next.rows[row] = col;
-    if (row < 3) {
-      // Parallel fan-out near the root; serial below (grain control).
-      group.spawn([next, row, n, &count, &solutions] {
-        solve(next, row + 1, n, count, solutions);
-      });
-    } else {
-      solve(next, row + 1, n, count, solutions);
-    }
-  }
-  group.sync();
-}
-
-long expected(int n) {
-  static const long table[] = {1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680,
-                               14200, 73712, 365596, 2279184, 14772512};
-  return n <= 16 ? table[n] : -1;
-}
-
-}  // namespace
+//   $ ./nqueens [workers] [scale]
+#include "workloads/driver.hpp"
 
 int main(int argc, char** argv) {
-  const unsigned workers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
-  const int n = argc > 2 ? std::atoi(argv[2]) : 10;
-  if (n > kMaxN) {
-    std::fprintf(stderr, "n must be <= %d\n", kMaxN);
-    return 2;
-  }
-
-  cilkm::reducer_opadd<long> count;
-  cilkm::vector_reducer<std::uint64_t> solutions;
-
-  cilkm::run(workers, [&] { solve(Board{{}, n}, 0, n, count, solutions); });
-
-  // Serial replay for the determinism check.
-  cilkm::reducer_opadd<long> count2;
-  cilkm::vector_reducer<std::uint64_t> solutions2;
-  solve(Board{{}, n}, 0, n, count2, solutions2);  // outside run: serial
-
-  const bool count_ok = count.get_value() == expected(n);
-  const bool order_ok = solutions.get_value() == solutions2.get_value();
-  std::printf("%d-queens: %ld solutions on %u workers (expected %ld) — %s\n",
-              n, count.get_value(), workers, expected(n),
-              count_ok ? "OK" : "WRONG COUNT");
-  std::printf("solution list order vs serial replay: %s\n",
-              order_ok ? "identical (deterministic)" : "MISMATCH");
-  return (count_ok && order_ok) ? 0 : 1;
+  return cilkm::workloads::example_main("nqueens", argc, argv);
 }

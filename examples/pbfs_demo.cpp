@@ -1,58 +1,11 @@
-// PBFS demo: generate an RMAT graph, run parallel breadth-first search with
-// bag reducers under both mechanisms, verify against serial BFS, and print
-// the layer histogram (paper Section 8's application benchmark).
+// PBFS demo, now a registered workload (src/workloads/w_pbfs.cpp): parallel
+// breadth-first search with bag reducers over an RMAT graph. This shim runs
+// it under all three view-store policies and self-verifies against serial
+// BFS distances.
 //
-//   $ ./pbfs_demo [workers] [rmat_scale]
-#include <cstdio>
-#include <cstdlib>
-#include <vector>
-
-#include "pbfs/pbfs.hpp"
-#include "runtime/api.hpp"
-#include "util/timing.hpp"
+//   $ ./pbfs_demo [workers] [scale]
+#include "workloads/driver.hpp"
 
 int main(int argc, char** argv) {
-  const unsigned workers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
-  const unsigned scale = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 16;
-
-  using namespace cilkm::pbfs;
-  std::printf("generating RMAT graph: scale=%u ...\n", scale);
-  const Graph g = rmat(scale, (1ull << scale) * 8, 0.45, 0.22, 0.22, 42);
-  std::printf("|V| = %u, |E| = %llu (symmetrised)\n", g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()));
-
-  const auto serial = serial_bfs(g, 0);
-
-  BfsResult mm, hyper;
-  const auto t0 = cilkm::now_ns();
-  cilkm::run(workers, [&] { mm = pbfs<cilkm::mm_policy>(g, 0); });
-  const auto t1 = cilkm::now_ns();
-  cilkm::run(workers, [&] { hyper = pbfs<cilkm::hypermap_policy>(g, 0); });
-  const auto t2 = cilkm::now_ns();
-
-  const bool ok = mm.dist == serial.dist && hyper.dist == serial.dist;
-  std::printf("memory-mapped reducers: %8.2f ms, %llu bag-reducer lookups\n",
-              (t1 - t0) / 1e6, static_cast<unsigned long long>(mm.reducer_lookups));
-  std::printf("hypermap reducers:      %8.2f ms, %llu bag-reducer lookups\n",
-              (t2 - t1) / 1e6,
-              static_cast<unsigned long long>(hyper.reducer_lookups));
-  std::printf("distances vs serial BFS: %s\n", ok ? "identical" : "MISMATCH");
-
-  // Layer histogram.
-  std::vector<std::uint64_t> layer_sizes(serial.num_layers, 0);
-  std::uint64_t reached = 0;
-  for (const Vertex d : serial.dist) {
-    if (d != kUnreached) {
-      ++layer_sizes[d];
-      ++reached;
-    }
-  }
-  std::printf("reached %llu/%u vertices in %u layers:\n",
-              static_cast<unsigned long long>(reached), g.num_vertices(),
-              serial.num_layers);
-  for (Vertex d = 0; d < serial.num_layers; ++d) {
-    std::printf("  layer %2u: %llu\n", d,
-                static_cast<unsigned long long>(layer_sizes[d]));
-  }
-  return ok ? 0 : 1;
+  return cilkm::workloads::example_main("pbfs", argc, argv);
 }

@@ -1,119 +1,11 @@
-// Kernel-design walkthrough: runs the paper's Section 4–7 machinery on the
-// *software* TLMM subsystem (page descriptors + per-thread 4-level page
-// tables + sys_pmap), rather than the fast user-space emulation the
-// production reducer path uses. Demonstrates, step by step:
+// TLMM kernel-design walkthrough, now a registered workload
+// (src/workloads/w_tlmm_sim.cpp): sys_palloc / sys_pmap / page-table-walk
+// lookups and view transferal by the mapping strategy, on the software TLMM
+// subsystem. This shim runs it and self-verifies the merged result.
 //
-//   1. sys_palloc-ing physical pages for two workers' private SPA maps,
-//   2. sys_pmap-ing them at the SAME virtual address in each worker's TLMM
-//      region (same address -> different view, the TLMM property),
-//   3. reducer lookups through the simulated page-table walk,
-//   4. view transferal via the paper's *mapping* strategy: worker 2 maps
-//      worker 1's physical page (by its page descriptor) into its own TLMM
-//      region to perform the hypermerge.
-//
-//   $ ./tlmm_sim
-#include <cstdio>
+//   $ ./tlmm_sim [workers] [scale]
+#include "workloads/driver.hpp"
 
-#include "spa/spa_map.hpp"
-#include "tlmm/address_space.hpp"
-
-using namespace cilkm;
-using namespace cilkm::tlmm;
-
-namespace {
-
-// A toy "view": just a long living in the shared heap region.
-struct HeapAllocator {
-  AddressSpace& as;
-  PageDescriptorManager& pdm;
-  std::uint64_t next_va = kTlmmRegionBytes;  // shared region starts here
-  std::uint64_t bump = 0;
-
-  std::uint64_t alloc_long(long initial) {
-    if (bump == 0 || bump + sizeof(long) > kPageSize) {
-      as.map_shared(next_va += kPageSize, pdm.palloc());
-      bump = 0;
-    }
-    const std::uint64_t va = next_va + bump;
-    bump += sizeof(long);
-    as.write<long>(/*any thread*/ 1, va, initial);
-    return va;
-  }
-};
-
-// A reducer lookup in the simulation: read the slot (one translated access),
-// check the view pointer (the predictable branch).
-std::uint64_t lookup(AddressSpace& as, ThreadId tid, std::uint64_t tlmm_addr) {
-  const auto view_va = as.read<std::uint64_t>(tid, tlmm_addr);
-  return view_va;  // 0 = empty slot -> miss path would create an identity
-}
-
-}  // namespace
-
-int main() {
-  PageDescriptorManager pdm;
-  AddressSpace as(pdm);
-  as.attach_thread(1);
-  as.attach_thread(2);
-  HeapAllocator heap{as, pdm};
-
-  std::printf("== TLMM kernel-design walkthrough (software simulation) ==\n");
-
-  // Step 1: each worker allocates a physical page for its private SPA map.
-  const std::uint32_t pd_w1 = pdm.palloc();
-  const std::uint32_t pd_w2 = pdm.palloc();
-  std::printf("sys_palloc: worker1 SPA page pd=%u, worker2 SPA page pd=%u\n",
-              pd_w1, pd_w2);
-
-  // Step 2: both map their own page at the SAME virtual address.
-  const std::uint64_t spa_base = 64 * kPageSize;  // low end of TLMM region
-  const std::uint32_t m1[] = {pd_w1};
-  const std::uint32_t m2[] = {pd_w2};
-  as.pmap(1, spa_base, m1);
-  as.pmap(2, spa_base, m2);
-  std::printf("sys_pmap: both workers mapped their page at VA 0x%llx\n",
-              static_cast<unsigned long long>(spa_base));
-
-  // A reducer is allocated slot 3 of page 0: its tlmm_addr is the same for
-  // every worker, forever.
-  const std::uint64_t tlmm_addr = spa_base + spa::slot_offset(0, 3);
-
-  // Step 3: each worker installs and updates its own local view.
-  const std::uint64_t view1 = heap.alloc_long(0);
-  const std::uint64_t view2 = heap.alloc_long(0);
-  as.write<std::uint64_t>(1, tlmm_addr, view1);
-  as.write<std::uint64_t>(2, tlmm_addr, view2);
-
-  for (int i = 0; i < 100; ++i) {
-    const ThreadId tid = (i % 2) ? 1 : 2;
-    const std::uint64_t view_va = lookup(as, tid, tlmm_addr);
-    as.write<long>(tid, view_va, as.read<long>(tid, view_va) + 1);
-  }
-  std::printf("after 100 updates: worker1 view = %ld, worker2 view = %ld "
-              "(same tlmm_addr, different views)\n",
-              as.read<long>(1, lookup(as, 1, tlmm_addr)),
-              as.read<long>(2, lookup(as, 2, tlmm_addr)));
-
-  // Step 4: view transferal by the mapping strategy. Worker 1 terminates
-  // its frame; worker 2 maps worker 1's SPA page (published as a page
-  // descriptor) into a scratch range of its own TLMM region and merges.
-  const std::uint64_t scratch = 4096 * kPageSize;
-  const std::uint32_t pub[] = {pd_w1};
-  as.pmap(2, scratch, pub);
-  const auto left_view_va =
-      as.read<std::uint64_t>(2, scratch + spa::slot_offset(0, 3));
-  const long left = as.read<long>(2, left_view_va);
-  const auto right_view_va = lookup(as, 2, tlmm_addr);
-  const long right = as.read<long>(2, right_view_va);
-  as.write<long>(2, left_view_va, left + right);  // REDUCE: left ⊗ right
-  const std::uint32_t unmap[] = {kPdNull};
-  as.pmap(2, scratch, unmap);
-  std::printf("hypermerge via mapping strategy: %ld (+) %ld = %ld\n", left,
-              right, as.read<long>(2, left_view_va));
-
-  const bool ok = as.read<long>(2, left_view_va) == 100;
-  std::printf("final reduced value: %ld — %s\n",
-              as.read<long>(2, left_view_va),
-              ok ? "matches the 100 serial updates" : "MISMATCH");
-  return ok ? 0 : 1;
+int main(int argc, char** argv) {
+  return cilkm::workloads::example_main("tlmm_sim", argc, argv);
 }

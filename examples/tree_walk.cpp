@@ -1,78 +1,11 @@
-// The paper's Figure 2: walk a binary tree in parallel and collect, into a
-// list reducer, every node that satisfies a property — in exact serial
-// (preorder) order, even though the walk is parallel. The incorrect version
-// (a plain std::list) would have a determinacy race; the reducer makes the
-// parallel code produce the identical list.
+// The paper's Figure 2 tree walk, now a registered workload
+// (src/workloads/w_tree_walk.cpp): collect matching nodes into a
+// list-append reducer in exact serial preorder. This shim runs it under all
+// three view-store policies and self-verifies against the serial walk.
 //
-//   $ ./tree_walk [workers] [num_nodes]
-#include <cstdio>
-#include <cstdlib>
-#include <list>
-#include <memory>
-#include <vector>
-
-#include "reducers/reducers.hpp"
-#include "runtime/api.hpp"
-#include "util/rng.hpp"
-
-namespace {
-
-struct Node {
-  int key;
-  Node* left = nullptr;
-  Node* right = nullptr;
-};
-
-bool has_property(const Node* n) { return n->key % 7 == 0; }
-
-// Build a random binary tree over keys [0, n) with deterministic shape.
-Node* build(std::vector<Node>& pool, int lo, int hi, cilkm::Xoshiro256& rng) {
-  if (lo >= hi) return nullptr;
-  const int mid = lo + static_cast<int>(rng.below(static_cast<std::uint64_t>(hi - lo)));
-  Node* n = &pool[static_cast<std::size_t>(mid)];
-  n->key = mid;
-  n->left = build(pool, lo, mid, rng);
-  n->right = build(pool, mid + 1, hi, rng);
-  return n;
-}
-
-// Figure 2(b), desugared: `cilk_spawn walk(left); walk(right); cilk_sync;`
-// becomes fork2join(walk(left), walk(right)).
-void walk(const Node* n, cilkm::list_append_reducer<const Node*>& l) {
-  if (n != nullptr) {
-    if (has_property(n)) l->push_back(n);
-    cilkm::fork2join([&] { walk(n->left, l); }, [&] { walk(n->right, l); });
-  }
-}
-
-void serial_walk(const Node* n, std::list<const Node*>& out) {
-  if (n != nullptr) {
-    if (has_property(n)) out.push_back(n);
-    serial_walk(n->left, out);
-    serial_walk(n->right, out);
-  }
-}
-
-}  // namespace
+//   $ ./tree_walk [workers] [scale]
+#include "workloads/driver.hpp"
 
 int main(int argc, char** argv) {
-  const unsigned workers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
-  const int n = argc > 2 ? std::atoi(argv[2]) : 200000;
-
-  std::vector<Node> pool(static_cast<std::size_t>(n));
-  cilkm::Xoshiro256 rng(99);
-  Node* root = build(pool, 0, n, rng);
-
-  cilkm::list_append_reducer<const Node*> l;
-  cilkm::run(workers, [&] { walk(root, l); });
-
-  std::list<const Node*> expect;
-  serial_walk(root, expect);
-
-  const bool same = l.get_value() == expect;
-  std::printf("tree_walk: %d nodes, %zu matches, %u workers — %s\n", n,
-              l.get_value().size(), workers,
-              same ? "parallel list identical to serial walk"
-                   : "MISMATCH (reducer bug)");
-  return same ? 0 : 1;
+  return cilkm::workloads::example_main("tree_walk", argc, argv);
 }

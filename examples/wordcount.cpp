@@ -1,87 +1,11 @@
-// Wordcount: a user-defined monoid (map-union with summed counts) plugged
-// into the reducer template — the "write your own reducer type" workflow the
-// Cilk Plus reducer API supports via IDENTITY and REDUCE overrides.
+// Wordcount, now a registered workload (src/workloads/w_wordcount.cpp): a
+// user-defined map-union monoid plugged into the reducer template. This
+// shim runs it under all three view-store policies and self-verifies
+// against a serial count.
 //
-//   $ ./wordcount [workers] [num_sentences]
-#include <cstdio>
-#include <cstdlib>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "reducers/reducers.hpp"
-#include "runtime/api.hpp"
-#include "util/rng.hpp"
-
-namespace {
-
-struct AddCounts {
-  void operator()(std::uint64_t& into, const std::uint64_t& from) const {
-    into += from;
-  }
-};
-
-using WordCountMonoid =
-    cilkm::map_union<std::string, std::uint64_t, AddCounts>;
-
-const char* kLexicon[] = {"cilk",   "reducer", "view",     "steal",
-                          "worker", "monoid",  "hypermap", "tlmm",
-                          "page",   "spa"};
-
-std::vector<std::string> synth_corpus(int sentences) {
-  cilkm::Xoshiro256 rng(7);
-  std::vector<std::string> corpus;
-  corpus.reserve(static_cast<std::size_t>(sentences));
-  for (int i = 0; i < sentences; ++i) {
-    std::string s;
-    const int words = 3 + static_cast<int>(rng.below(10));
-    for (int w = 0; w < words; ++w) {
-      s += kLexicon[rng.below(std::size(kLexicon))];
-      s += ' ';
-    }
-    corpus.push_back(std::move(s));
-  }
-  return corpus;
-}
-
-void count_words(const std::string& sentence,
-                 std::unordered_map<std::string, std::uint64_t>& counts) {
-  std::size_t pos = 0;
-  while (pos < sentence.size()) {
-    const std::size_t space = sentence.find(' ', pos);
-    if (space == std::string::npos) break;
-    if (space > pos) ++counts[sentence.substr(pos, space - pos)];
-    pos = space + 1;
-  }
-}
-
-}  // namespace
+//   $ ./wordcount [workers] [scale]
+#include "workloads/driver.hpp"
 
 int main(int argc, char** argv) {
-  const unsigned workers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
-  const int sentences = argc > 2 ? std::atoi(argv[2]) : 100000;
-
-  const auto corpus = synth_corpus(sentences);
-
-  cilkm::reducer<WordCountMonoid> counts;
-  cilkm::run(workers, [&] {
-    cilkm::parallel_for(0, static_cast<std::int64_t>(corpus.size()), 64,
-                        [&](std::int64_t i) {
-                          count_words(corpus[static_cast<std::size_t>(i)],
-                                      counts.view());
-                        });
-  });
-
-  // Serial oracle.
-  std::unordered_map<std::string, std::uint64_t> expect;
-  for (const auto& s : corpus) count_words(s, expect);
-
-  const bool ok = counts.get_value() == expect;
-  std::printf("wordcount over %d sentences on %u workers — %s\n", sentences,
-              workers, ok ? "matches serial count" : "MISMATCH");
-  for (const char* word : kLexicon) {
-    std::printf("  %-8s %llu\n", word,
-                static_cast<unsigned long long>(counts.get_value()[word]));
-  }
-  return ok ? 0 : 1;
+  return cilkm::workloads::example_main("wordcount", argc, argv);
 }

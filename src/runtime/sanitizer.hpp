@@ -1,0 +1,49 @@
+// ThreadSanitizer fiber annotations for the hand-rolled context switches.
+// TSan tracks one shadow stack + happens-before clock per OS thread; a raw
+// cilkm_ctx_switch teleports execution onto a different stack without
+// telling TSan, which corrupts its shadow state and yields bogus reports
+// (or crashes). The fiber API (__tsan_create_fiber / __tsan_switch_to_fiber)
+// gives each fiber its own TSan state and makes every switch visible.
+//
+// Each pooled Fiber owns one TSan fiber for the life of its stack, and each
+// worker records its scheduler context's TSan state on entry, so every
+// cilkm_ctx_start/cilkm_ctx_switch site can announce its destination. All
+// hooks compile to nothing outside -fsanitize=thread builds
+// (-DCILKM_SANITIZE=thread).
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define CILKM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CILKM_TSAN 1
+#endif
+#endif
+
+#ifdef CILKM_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace cilkm::rt::tsan {
+
+#ifdef CILKM_TSAN
+
+inline void* create_fiber() { return __tsan_create_fiber(0); }
+inline void destroy_fiber(void* fiber) { __tsan_destroy_fiber(fiber); }
+/// The calling OS thread's own TSan state (a thread is also a fiber).
+inline void* current_fiber() { return __tsan_get_current_fiber(); }
+/// Must be called immediately before the actual stack switch. Synchronizing
+/// (flag 0): the switch edge establishes happens-before, exactly like the
+/// runtime's own join protocol does via the frame's arrival counter.
+inline void switch_to(void* fiber) { __tsan_switch_to_fiber(fiber, 0); }
+
+#else
+
+inline void* create_fiber() { return nullptr; }
+inline void destroy_fiber(void*) {}
+inline void* current_fiber() { return nullptr; }
+inline void switch_to(void*) {}
+
+#endif
+
+}  // namespace cilkm::rt::tsan

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <new>
 
+#include "runtime/sanitizer.hpp"
 #include "util/assert.hpp"
 
 namespace cilkm::rt {
@@ -25,6 +26,8 @@ Fiber* StackPool::allocate_fresh() {
   fiber->alloc_base = static_cast<std::byte*>(p);
   fiber->alloc_size = size;
   fiber->stack_top = fiber->alloc_base + size;
+  // TSan state lives (and is recycled) with the stack it shadows.
+  fiber->tsan_fiber = tsan::create_fiber();
   return fiber;
 }
 

@@ -17,6 +17,7 @@ struct Fiber {
   std::byte* alloc_base = nullptr;
   std::size_t alloc_size = 0;
   Fiber* next = nullptr;   // free-list link
+  void* tsan_fiber = nullptr;  // TSan shadow state, 1:1 with this stack
 };
 
 /// Process-wide stack pool. Thread-safe.

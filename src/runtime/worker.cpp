@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "runtime/sanitizer.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
 #include "util/assert.hpp"
@@ -59,6 +60,7 @@ void fiber_main(void* arg) {
     w2->current_fiber_ = nullptr;
     Tracer::instance().record(w2->id(), TraceEvent::kRootDone, nullptr);
     w2->scheduler()->done_.store(true, std::memory_order_release);
+    tsan::switch_to(w2->sched_tsan_);
     cilkm_ctx_switch(&self->ctx, &w2->sched_ctx_);
     __builtin_unreachable();
   }
@@ -79,6 +81,7 @@ void fiber_main(void* arg) {
     Tracer::instance().record(w2->id(), TraceEvent::kResumeByThief, frame);
     w2->pending_recycle_ = w2->current_fiber_;
     w2->current_fiber_ = frame->parked_fiber;
+    tsan::switch_to(frame->parked_fiber->tsan_fiber);
     cilkm_ctx_switch(&self->ctx, &frame->parked);
     __builtin_unreachable();
   }
@@ -96,11 +99,13 @@ void fiber_main(void* arg) {
     Tracer::instance().record(w2->id(), TraceEvent::kResumeByThief, frame);
     w2->pending_recycle_ = w2->current_fiber_;
     w2->current_fiber_ = frame->parked_fiber;
+    tsan::switch_to(frame->parked_fiber->tsan_fiber);
     cilkm_ctx_switch(&self->ctx, &frame->parked);
   } else {
     // First arriver: the victim will resume the continuation.
     w2->pending_recycle_ = w2->current_fiber_;
     w2->current_fiber_ = nullptr;
+    tsan::switch_to(w2->sched_tsan_);
     cilkm_ctx_switch(&self->ctx, &w2->sched_ctx_);
   }
   __builtin_unreachable();
@@ -112,6 +117,7 @@ void Worker::launch(SpawnFrame* frame_or_null_root) {
   ++stats_[StatCounter::kFibersAllocated];
   launch_frame_ = frame_or_null_root;
   current_fiber_ = fiber;
+  tsan::switch_to(fiber->tsan_fiber);
   cilkm_ctx_start(&sched_ctx_, fiber->stack_top, &fiber_main, fiber);
   // Control returns here when the fiber parks or finishes.
 }
@@ -132,12 +138,16 @@ void Worker::join_slow(SpawnFrame* frame) {
   Tracer::instance().record(w->id(), TraceEvent::kPark, frame);
   frame->parked_fiber = w->current_fiber_;
   w->pending_park_ = frame;
+  tsan::switch_to(w->sched_tsan_);
   cilkm_ctx_switch(&frame->parked, &w->sched_ctx_);
   // Resumed by the last arriver — possibly on a different worker.
   Worker::current()->drain_pending();
 }
 
 void Worker::scheduler_loop() {
+  // Record this thread's own TSan identity so fibers can switch back to the
+  // scheduler stack. Re-recorded every run: worker threads are fresh.
+  sched_tsan_ = tsan::current_fiber();
   const bool is_bootstrap = (id_ == 0);
   if (is_bootstrap) launch(nullptr);  // run the root task
 
@@ -154,6 +164,7 @@ void Worker::scheduler_loop() {
         merge_right(&frame->right_views);
         Tracer::instance().record(id_, TraceEvent::kResumeSelf, frame);
         current_fiber_ = frame->parked_fiber;
+        tsan::switch_to(frame->parked_fiber->tsan_fiber);
         cilkm_ctx_switch(&sched_ctx_, &frame->parked);
         continue;
       }

@@ -72,6 +72,7 @@ class Worker {
   views::ViewStoreSet views_{&stats_};
 
   Context sched_ctx_;
+  void* sched_tsan_ = nullptr;  // TSan state of the scheduler-loop stack
   Fiber* current_fiber_ = nullptr;
   Fiber* pending_recycle_ = nullptr;
   SpawnFrame* pending_park_ = nullptr;

@@ -6,6 +6,11 @@
 
 namespace cilkm {
 
+/// The process-wide default seed: Xoshiro256's default, the workload
+/// driver's default --seed, and the test suite's CILKM_TEST_SEED fallback
+/// all reference this one constant, so they reproduce each other's inputs.
+inline constexpr std::uint64_t kDefaultSeed = 0x5eed5eed5eed5eedULL;
+
 /// SplitMix64: used to seed other generators and for cheap stateless hashing.
 inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
@@ -20,7 +25,7 @@ class Xoshiro256 {
  public:
   using result_type = std::uint64_t;
 
-  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+  explicit Xoshiro256(std::uint64_t seed = kDefaultSeed) noexcept {
     for (auto& word : state_) word = splitmix64(seed);
   }
 

@@ -1,5 +1,7 @@
 #include "views/flat_registry.hpp"
 
+#include "util/assert.hpp"
+
 namespace cilkm::views {
 
 FlatIdAllocator& FlatIdAllocator::instance() {
@@ -15,6 +17,8 @@ std::uint32_t FlatIdAllocator::allocate() {
     free_.pop_back();
     return id;
   }
+  CILKM_CHECK(next_ < kMaxFlatIds,
+              "flat reducer ids exhausted (too many live flat_policy reducers)");
   return next_++;
 }
 

@@ -13,11 +13,19 @@
 
 namespace cilkm::views {
 
+/// Hard ceiling on concurrently live flat reducer ids. Every worker's flat
+/// store is an array indexed by id, so an unbounded id space would let one
+/// leaked allocation loop grow every store without bound; past this cap
+/// allocate() fails a release-enforced CILKM_CHECK (the flat analogue of
+/// the SPA allocator's "TLMM region exhausted").
+inline constexpr std::uint32_t kMaxFlatIds = 1u << 20;
+
 class FlatIdAllocator {
  public:
   static FlatIdAllocator& instance();
 
   /// Allocate a dense reducer id, valid in every worker's flat store.
+  /// Checks (release-enforced) that the id space is not exhausted.
   std::uint32_t allocate();
 
   /// Return an id. The id's slot must already be empty in every store.

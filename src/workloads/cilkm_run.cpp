@@ -1,0 +1,14 @@
+// The workload driver: execute any (workload × view-store policy × worker
+// count) cell of the registered scenario matrix, verify every cell against
+// its serial reference, and report timing as BENCH_workloads.json.
+//
+//   $ ./cilkm_run --list
+//   $ ./cilkm_run --workload pbfs --policy mm --workers 1,2,8
+//   $ ./cilkm_run                      # the full smoke matrix
+#include "workloads/driver.hpp"
+
+int main(int argc, char** argv) {
+  cilkm::workloads::DriverOptions opts;
+  if (!cilkm::workloads::parse_driver_options(argc, argv, &opts)) return 2;
+  return cilkm::workloads::run_matrix(opts) == 0 ? 0 : 1;
+}

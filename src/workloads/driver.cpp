@@ -1,0 +1,212 @@
+#include "workloads/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "bench/harness.hpp"
+
+namespace cilkm::workloads {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cilkm_run [--list] [--workload NAME|all]... [--policy mm|hypermap|flat|all]...\n"
+    "                 [--workers N[,N...]] [--scale S] [--seed X] [--reps R]\n"
+    "                 [--figure NAME|none]\n"
+    "\n"
+    "Runs registered workload cells (workload x policy x workers); every cell\n"
+    "verifies itself against a serial reference. Exits nonzero if any cell\n"
+    "fails verification. Writes BENCH_<figure>.json unless --figure none.\n";
+
+bool parse_workers_list(const char* text, std::vector<unsigned>* out) {
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p || v == 0 || v > 4096) return false;
+    out->push_back(static_cast<unsigned>(v));
+    p = end;
+    if (*p == ',') ++p;
+    else if (*p != '\0') return false;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+std::vector<unsigned> default_worker_counts() {
+  std::vector<unsigned> out{1, 2, std::max(1u, std::thread::hardware_concurrency())};
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
+  auto need_value = [&](int i) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n%s", argv[i], kUsage);
+      return false;
+    }
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      out->list_only = true;
+    } else if (std::strcmp(arg, "--workload") == 0) {
+      if (!need_value(i)) return false;
+      const std::string name = argv[++i];
+      if (name != "all") out->workload_names.push_back(name);
+    } else if (std::strcmp(arg, "--policy") == 0) {
+      if (!need_value(i)) return false;
+      const std::string name = argv[++i];
+      if (name == "all") continue;
+      PolicyKind kind;
+      if (!parse_policy(name, &kind)) {
+        std::fprintf(stderr, "unknown policy '%s'\n%s", name.c_str(), kUsage);
+        return false;
+      }
+      out->policies.push_back(kind);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      if (!need_value(i)) return false;
+      if (!parse_workers_list(argv[++i], &out->workers)) {
+        std::fprintf(stderr, "bad --workers list '%s'\n%s", argv[i], kUsage);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--scale") == 0) {
+      if (!need_value(i)) return false;
+      const long v = std::atol(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "--scale must be >= 1\n%s", kUsage);
+        return false;
+      }
+      out->scale = static_cast<unsigned>(v);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!need_value(i)) return false;
+      out->seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(arg, "--reps") == 0) {
+      if (!need_value(i)) return false;
+      const long v = std::atol(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "--reps must be >= 1\n%s", kUsage);
+        return false;
+      }
+      out->reps = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--figure") == 0) {
+      if (!need_value(i)) return false;
+      const std::string name = argv[++i];
+      out->figure = name == "none" ? std::string{} : name;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      out->list_only = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n%s", arg, kUsage);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_matrix(const DriverOptions& opts) {
+  Registry& registry = Registry::instance();
+
+  if (opts.list_only) {
+    for (const Workload& w : registry.all()) {
+      std::printf("%-12s %s\n", w.name.c_str(), w.summary.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const Workload*> selected;
+  if (opts.workload_names.empty()) {
+    for (const Workload& w : registry.all()) selected.push_back(&w);
+  } else {
+    for (const std::string& name : opts.workload_names) {
+      const Workload* w = registry.find(name);
+      if (w == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     name.c_str());
+        return 1;
+      }
+      selected.push_back(w);
+    }
+  }
+
+  std::vector<PolicyKind> policies(opts.policies);
+  if (policies.empty()) {
+    policies.assign(std::begin(kAllPolicies), std::end(kAllPolicies));
+  }
+  std::vector<unsigned> workers =
+      opts.workers.empty() ? default_worker_counts() : opts.workers;
+
+  bench::JsonReport* report = nullptr;
+  bench::JsonReport report_storage(opts.figure.empty() ? "unused"
+                                                       : opts.figure);
+  if (!opts.figure.empty()) report = &report_storage;
+
+  std::printf("%-12s %-9s %3s %6s %12s %12s  %s\n", "workload", "policy", "P",
+              "verify", "median_s", "stddev_s", "detail");
+  int failures = 0;
+  for (const Workload* w : selected) {
+    for (const PolicyKind policy : policies) {
+      for (const unsigned p : workers) {
+        RunConfig cfg;
+        cfg.workers = p;
+        cfg.scale = opts.scale;
+        cfg.seed = opts.seed;
+
+        std::vector<double> samples;
+        // On failure, report the FIRST failing rep's detail — later passing
+        // reps must not overwrite the diagnostic.
+        RunResult shown;
+        bool verified = true;
+        for (int rep = 0; rep < opts.reps; ++rep) {
+          RunResult result = w->run_policy(policy, cfg);
+          samples.push_back(result.seconds);
+          if (verified) shown = std::move(result);
+          verified = verified && shown.verified;
+        }
+        const bench::RunStat stat = bench::stats_of(std::move(samples));
+        if (!verified) ++failures;
+
+        std::printf("%-12s %-9s %3u %6s %12.6f %12.6f  %s\n", w->name.c_str(),
+                    policy_name(policy), p, verified ? "ok" : "FAIL",
+                    stat.median_s, stat.stddev_s, shown.detail.c_str());
+        if (report != nullptr) {
+          report->add(w->name + "/" + policy_name(policy),
+                      static_cast<double>(p),
+                      {{"median_s", stat.median_s},
+                       {"stddev_s", stat.stddev_s},
+                       {"verified", verified ? 1.0 : 0.0}});
+        }
+      }
+    }
+  }
+  if (report != nullptr) report->flush();
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d cell(s) FAILED verification\n", failures);
+  }
+  return failures;
+}
+
+int example_main(const char* workload, int argc, char** argv) {
+  DriverOptions opts;
+  opts.workload_names.push_back(workload);
+  if (argc > 1) {
+    const long p = std::atol(argv[1]);
+    if (p >= 1) opts.workers.push_back(static_cast<unsigned>(p));
+  }
+  if (argc > 2) {
+    const long s = std::atol(argv[2]);
+    if (s >= 1) opts.scale = static_cast<unsigned>(s);
+  }
+  if (opts.workers.empty()) opts.workers.push_back(4);
+  opts.figure.clear();  // examples print the table only, no JSON artefact
+  return run_matrix(opts) == 0 ? 0 : 1;
+}
+
+}  // namespace cilkm::workloads

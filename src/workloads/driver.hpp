@@ -1,0 +1,43 @@
+// The cilkm_run driver, as a library so the examples/ shims and the tests
+// can reuse the cell-matrix runner. A "cell" is one
+// (workload × view-store policy × worker count) execution; every cell
+// self-verifies against its serial reference, and the matrix run reports
+// timing through bench/harness.hpp's JsonReport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace cilkm::workloads {
+
+struct DriverOptions {
+  std::vector<std::string> workload_names;  // empty = every registered one
+  std::vector<PolicyKind> policies;         // empty = all three
+  std::vector<unsigned> workers;            // empty = {1, 2, hw_concurrency}
+  unsigned scale = 1;
+  std::uint64_t seed = RunConfig{}.seed;
+  int reps = 1;                // timing repetitions per cell (median reported)
+  bool list_only = false;
+  std::string figure = "workloads";  // BENCH_<figure>.json; empty = no JSON
+};
+
+/// {1, 2, hardware_concurrency}, deduplicated and sorted.
+std::vector<unsigned> default_worker_counts();
+
+/// Parse cilkm_run flags. Returns false (after printing usage to stderr) on
+/// unknown flags or unparseable values.
+bool parse_driver_options(int argc, char** argv, DriverOptions* out);
+
+/// Execute the selected cell matrix: prints one table row per cell, writes
+/// BENCH_<figure>.json, and returns the number of cells whose verify()
+/// failed (0 = everything checked out).
+int run_matrix(const DriverOptions& opts);
+
+/// Shared main() for the examples/ shims: positional [workers] [scale],
+/// running one named workload under all three policies.
+int example_main(const char* workload, int argc, char** argv);
+
+}  // namespace cilkm::workloads

@@ -1,0 +1,53 @@
+// Parallel summation (the quickstart example, registered): sum 1..N into an
+// add-reducer and fold N products-of-ones into a mul-reducer on the side,
+// verified against closed forms.
+#include <cstdint>
+
+#include "reducers/reducers.hpp"
+#include "runtime/api.hpp"
+#include "util/timing.hpp"
+#include "workloads/workload.hpp"
+
+namespace cilkm::workloads {
+namespace {
+
+template <typename Policy>
+struct SumLoop {
+  static RunResult run(const RunConfig& cfg) {
+    const std::int64_t n = 250'000 * static_cast<std::int64_t>(cfg.scale);
+
+    reducer_opadd<long long, Policy> sum;
+    reducer_opmul<long long, Policy> parity;  // (-1)^N via repeated * -1
+
+    const auto t0 = now_ns();
+    cilkm::run(cfg.workers, [&] {
+      parallel_for(1, n + 1, 4096, [&](std::int64_t i) {
+        *sum += i;
+        *parity *= -1;
+      });
+    });
+    const auto t1 = now_ns();
+
+    RunResult out;
+    out.seconds = static_cast<double>(t1 - t0) / 1e9;
+    out.items = static_cast<std::uint64_t>(n);
+    const long long expect_sum = n * (n + 1) / 2;
+    const long long expect_parity = (n % 2 == 0) ? 1 : -1;
+    out.verified = sum.get_value() == expect_sum &&
+                   parity.get_value() == expect_parity;
+    out.detail = out.verified
+                     ? "sum and parity match closed forms"
+                     : "sum=" + std::to_string(sum.get_value()) +
+                           " expected=" + std::to_string(expect_sum);
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_sum_loop(Registry& r) {
+  r.add(make_workload<SumLoop>(
+      "sum_loop", "parallel_for summation into add/mul reducers"));
+}
+
+}  // namespace cilkm::workloads

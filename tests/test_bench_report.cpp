@@ -1,0 +1,93 @@
+// Golden test for bench/harness.hpp's JsonReport: the BENCH_*.json files
+// are consumed by cross-PR perf tracking, so the emitted bytes — figure
+// name, schema tag, series/x rows, median/stddev metric fields, null for
+// non-finite values — are pinned here character for character. Plus unit
+// coverage for the median used by RunStat.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(JsonReport, GoldenOutputIsByteExact) {
+  const std::string path = "BENCH_golden.json";
+  {
+    bench::JsonReport report("golden");
+    report.add("sum_loop/mm", 1,
+               {{"median_s", 0.5}, {"stddev_s", 0.25}, {"verified", 1}});
+    report.add("pbfs/flat", 2,
+               {{"median_s", 0.125}, {"stddev_s", 0}, {"verified", 1}});
+    report.add("nonfinite", 3, {{"median_s", std::nan("")}});
+    // Destructor flushes.
+  }
+
+  const std::string expected =
+      "{\n"
+      "  \"figure\": \"golden\",\n"
+      "  \"schema\": \"cilkm-bench-v1\",\n"
+      "  \"rows\": [\n"
+      "    {\"series\": \"sum_loop/mm\", \"x\": 1, \"metrics\": "
+      "{\"median_s\": 0.5, \"stddev_s\": 0.25, \"verified\": 1}},\n"
+      "    {\"series\": \"pbfs/flat\", \"x\": 2, \"metrics\": "
+      "{\"median_s\": 0.125, \"stddev_s\": 0, \"verified\": 1}},\n"
+      "    {\"series\": \"nonfinite\", \"x\": 3, \"metrics\": "
+      "{\"median_s\": null}}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(slurp(path), expected);
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, EmptyReportStillWellFormed) {
+  const std::string path = "BENCH_golden_empty.json";
+  { bench::JsonReport report("golden_empty"); }
+  const std::string expected =
+      "{\n"
+      "  \"figure\": \"golden_empty\",\n"
+      "  \"schema\": \"cilkm-bench-v1\",\n"
+      "  \"rows\": [\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(slurp(path), expected);
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, FlushIsIdempotent) {
+  const std::string path = "BENCH_golden_once.json";
+  bench::JsonReport report("golden_once");
+  report.add("s", 1, {{"m", 2}});
+  report.flush();
+  const std::string first = slurp(path);
+  report.flush();  // must not rewrite or duplicate
+  EXPECT_EQ(slurp(path), first);
+  std::remove(path.c_str());
+}
+
+TEST(RunStat, MedianOddEvenEmpty) {
+  EXPECT_EQ(bench::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(bench::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_EQ(bench::median({7.0}), 7.0);
+  EXPECT_EQ(bench::median({}), 0.0);
+}
+
+TEST(RunStat, RepeatFillsAllFields) {
+  const bench::RunStat stat = bench::repeat(5, [] {});
+  EXPECT_GE(stat.mean_s, 0.0);
+  EXPECT_GE(stat.median_s, 0.0);
+  EXPECT_GE(stat.stddev_s, 0.0);
+}
+
+}  // namespace

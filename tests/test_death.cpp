@@ -1,0 +1,45 @@
+// Death tests for release-enforced preconditions (CILKM_CHECK, active even
+// with NDEBUG): the deque's spawn-depth overflow and flat-registry id
+// exhaustion. The HyperMap duplicate-insert death test lives with the other
+// hypermap tests (test_hypermap.cpp). Each EXPECT_DEATH body runs in a
+// forked child, so exhausting a process-wide singleton there leaves this
+// process untouched.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/deque.hpp"
+#include "runtime/frame.hpp"
+#include "views/flat_registry.hpp"
+
+namespace {
+
+TEST(DequeDeathTest, OverflowOnSpawnDepthBeyondCapacity) {
+  // Deque is ~512 KiB of atomics; keep it off the test's stack.
+  auto deque = std::make_unique<cilkm::rt::Deque>();
+  cilkm::rt::SpawnFrame frame;
+  EXPECT_DEATH(
+      {
+        for (std::size_t i = 0; i <= cilkm::rt::Deque::kCapacity; ++i) {
+          deque->push(&frame);
+        }
+      },
+      "deque overflow");
+}
+
+TEST(FlatRegistryDeathTest, IdExhaustionIsCaught) {
+  using cilkm::views::FlatIdAllocator;
+  using cilkm::views::kMaxFlatIds;
+  // The child inherits whatever ids the parent already handed out, so
+  // kMaxFlatIds + 1 fresh allocations (never freed) must hit the ceiling.
+  EXPECT_DEATH(
+      {
+        auto& allocator = FlatIdAllocator::instance();
+        for (std::uint32_t i = 0; i <= kMaxFlatIds; ++i) {
+          allocator.allocate();
+        }
+      },
+      "flat reducer ids exhausted");
+}
+
+}  // namespace

@@ -4,9 +4,12 @@
 
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "hypermap/hypermap.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -177,6 +180,51 @@ TEST(HyperMap, EraseRepairsWrappedProbeChain) {
   EXPECT_EQ(map.lookup(tail_home_keys[1]), nullptr);
   EXPECT_NE(map.lookup(tail_home_keys[2]), nullptr);
   EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HyperMap, RandomizedOpsMirrorUnorderedMap) {
+  // Seeded fuzz (CILKM_TEST_SEED overridable): a random insert / erase /
+  // lookup stream must track std::unordered_map exactly, across growth and
+  // backward-shift deletions.
+  SCOPED_TRACE(cilkm::test::seed_trace());
+  cilkm::Xoshiro256 rng(cilkm::test::derived_seed(0x9a5));
+  HyperMap map;
+  std::unordered_map<const void*, void*> mirror;
+  int views[4096];
+  for (int step = 0; step < 20000; ++step) {
+    const int i = static_cast<int>(rng.below(4096));
+    switch (rng.below(3)) {
+      case 0: {  // insert if absent
+        if (mirror.find(key(i)) == mirror.end()) {
+          map.insert(key(i), &views[i], nullptr);
+          mirror.emplace(key(i), &views[i]);
+        }
+        break;
+      }
+      case 1: {  // erase
+        map.erase(key(i));
+        mirror.erase(key(i));
+        break;
+      }
+      default: {  // lookup
+        auto* entry = map.lookup(key(i));
+        const auto it = mirror.find(key(i));
+        if (it == mirror.end()) {
+          ASSERT_EQ(entry, nullptr) << "step " << step << " key " << i;
+        } else {
+          ASSERT_NE(entry, nullptr) << "step " << step << " key " << i;
+          ASSERT_EQ(entry->view, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), mirror.size()) << "step " << step;
+  }
+  // Full sweep at the end: every surviving key, and only those, present.
+  for (int i = 0; i < 4096; ++i) {
+    const bool expect_present = mirror.find(key(i)) != mirror.end();
+    EXPECT_EQ(map.lookup(key(i)) != nullptr, expect_present) << i;
+  }
 }
 
 TEST(HyperMap, AdversarialCollidingKeysStillWork) {

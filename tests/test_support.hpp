@@ -1,0 +1,45 @@
+// Shared support for the randomized tests: one process-wide base seed,
+// fixed by default so every run is reproducible, overridable through the
+// CILKM_TEST_SEED environment variable (any strtoull-parseable value).
+// Tests derive their per-case seeds from base_seed() and wrap their bodies
+// in SCOPED_TRACE(seed_trace()), so a failing run always prints the exact
+// seed needed to replay it.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace cilkm::test {
+
+/// The run's base seed: CILKM_TEST_SEED if set, else cilkm::kDefaultSeed —
+/// the same constant the workload driver defaults to, so the ctest matrix
+/// and a bare `cilkm_run` exercise identical inputs.
+inline std::uint64_t base_seed() {
+  static const std::uint64_t value = [] {
+    if (const char* env = std::getenv("CILKM_TEST_SEED")) {
+      char* end = nullptr;
+      const std::uint64_t parsed = std::strtoull(env, &end, 0);
+      if (end != env && *end == '\0') return parsed;
+    }
+    return kDefaultSeed;
+  }();
+  return value;
+}
+
+/// The i-th seed derived from the base (splitmix64 stream), so independent
+/// test cases draw decorrelated but reproducible seeds.
+inline std::uint64_t derived_seed(std::uint64_t i) {
+  std::uint64_t state = base_seed() + i;
+  return splitmix64(state);
+}
+
+/// For SCOPED_TRACE at the top of every randomized test body: on failure,
+/// gtest prints this line, telling the developer how to replay the run.
+inline std::string seed_trace() {
+  return "replay with CILKM_TEST_SEED=" + std::to_string(base_seed());
+}
+
+}  // namespace cilkm::test

@@ -1,0 +1,128 @@
+// The scenario matrix as the regression suite: every registered workload ×
+// every view-store policy (mm/spa, hypermap, flat) × P ∈ {1, 2,
+// hardware_concurrency}, each cell self-verifying against its serial
+// reference. The parameter list is generated from the workload registry, so
+// registering a new workload automatically grows this sweep (and CTest,
+// via gtest_discover_tests).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "test_support.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using cilkm::workloads::PolicyKind;
+using cilkm::workloads::Registry;
+using cilkm::workloads::RunConfig;
+using cilkm::workloads::RunResult;
+using cilkm::workloads::Workload;
+
+struct Cell {
+  const Workload* workload;
+  PolicyKind policy;
+  unsigned workers;
+};
+
+std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {
+  return info.param.workload->name + "_" +
+         cilkm::workloads::policy_name(info.param.policy) + "_P" +
+         std::to_string(info.param.workers);
+}
+
+std::vector<Cell> matrix() {
+  std::vector<Cell> cells;
+  for (const Workload& w : Registry::instance().all()) {
+    for (const PolicyKind policy : cilkm::workloads::kAllPolicies) {
+      for (const unsigned p : cilkm::workloads::default_worker_counts()) {
+        cells.push_back({&w, policy, p});
+      }
+    }
+  }
+  return cells;
+}
+
+class WorkloadMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(WorkloadMatrix, CellVerifiesAgainstSerialReference) {
+  SCOPED_TRACE(cilkm::test::seed_trace());
+  const Cell& cell = GetParam();
+  RunConfig cfg;
+  cfg.workers = cell.workers;
+  cfg.scale = 1;
+  cfg.seed = cilkm::test::base_seed();
+  const RunResult result = cell.workload->run_policy(cell.policy, cfg);
+  EXPECT_TRUE(result.verified)
+      << cell.workload->name << " under "
+      << cilkm::workloads::policy_name(cell.policy) << " with P="
+      << cell.workers << ": " << result.detail;
+  EXPECT_GT(result.items, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, WorkloadMatrix,
+                         ::testing::ValuesIn(matrix()), cell_name);
+
+// The registry itself: the acceptance floor of nine workloads, uniqueness,
+// and a populated run table for every policy.
+TEST(WorkloadRegistry, AtLeastNineWorkloadsAllComplete) {
+  const auto& all = Registry::instance().all();
+  EXPECT_GE(all.size(), 9u);
+  for (const Workload& w : all) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_FALSE(w.summary.empty());
+    for (int p = 0; p < cilkm::workloads::kNumPolicies; ++p) {
+      EXPECT_NE(w.run[p], nullptr) << w.name;
+    }
+    EXPECT_EQ(Registry::instance().find(w.name), &w);
+  }
+}
+
+TEST(WorkloadRegistry, FindUnknownReturnsNull) {
+  EXPECT_EQ(Registry::instance().find("no_such_workload"), nullptr);
+}
+
+// Driver plumbing: flag parsing and policy names round-trip.
+TEST(WorkloadDriver, ParsesFlagsAndRejectsGarbage) {
+  using cilkm::workloads::DriverOptions;
+  const char* argv_ok[] = {"cilkm_run", "--workload", "pbfs",    "--policy",
+                           "flat",      "--workers",  "1,2,4",   "--scale",
+                           "2",         "--seed",     "0x12345", "--reps",
+                           "3"};
+  DriverOptions opts;
+  ASSERT_TRUE(cilkm::workloads::parse_driver_options(
+      static_cast<int>(std::size(argv_ok)), const_cast<char**>(argv_ok),
+      &opts));
+  EXPECT_EQ(opts.workload_names, std::vector<std::string>{"pbfs"});
+  ASSERT_EQ(opts.policies.size(), 1u);
+  EXPECT_EQ(opts.policies[0], PolicyKind::kFlat);
+  EXPECT_EQ(opts.workers, (std::vector<unsigned>{1, 2, 4}));
+  EXPECT_EQ(opts.scale, 2u);
+  EXPECT_EQ(opts.seed, 0x12345u);
+  EXPECT_EQ(opts.reps, 3);
+
+  const char* argv_bad[] = {"cilkm_run", "--policy", "spaghetti"};
+  DriverOptions bad;
+  EXPECT_FALSE(cilkm::workloads::parse_driver_options(
+      3, const_cast<char**>(argv_bad), &bad));
+
+  const char* argv_bad2[] = {"cilkm_run", "--workers", "0"};
+  DriverOptions bad2;
+  EXPECT_FALSE(cilkm::workloads::parse_driver_options(
+      3, const_cast<char**>(argv_bad2), &bad2));
+}
+
+TEST(WorkloadDriver, PolicyNamesRoundTrip) {
+  for (const PolicyKind kind : cilkm::workloads::kAllPolicies) {
+    PolicyKind parsed;
+    ASSERT_TRUE(cilkm::workloads::parse_policy(
+        cilkm::workloads::policy_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  PolicyKind ignored;
+  EXPECT_FALSE(cilkm::workloads::parse_policy("spa_map", &ignored));
+}
+
+}  // namespace
