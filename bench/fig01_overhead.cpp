@@ -62,7 +62,11 @@ int main(int argc, char** argv) {
   double l1 = 0, mm = 0, hyper = 0, lock = 0;
 
   // All variants run on one worker inside the scheduler so the reducer
-  // lookup paths are the real (worker-context) paths.
+  // lookup paths are the real (worker-context) paths; the persistent pool is
+  // reused across all four variants. Unlike the delta-based figures, this
+  // one reports RATIOS, so each variant times its reps inside a single
+  // run() — the per-run dispatch constant must stay out of the samples or
+  // it would compress every ratio toward 1 at small --iters.
   cilkm::Scheduler sched(1);
   sched.run([&] { l1 = bench::repeat(reps, [&] { l1_baseline(iters); }).mean_s; });
   sched.run([&] {

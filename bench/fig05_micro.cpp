@@ -15,6 +15,10 @@ constexpr unsigned kNs[] = {4, 16, 64, 256, 1024};
 template <typename Policy>
 double run_kernel(cilkm::Scheduler& sched, const char* kernel, unsigned n,
                   std::uint64_t lookups, std::int64_t grain, int reps) {
+  // This figure reports a Cilk Plus / Cilk-M RATIO, so the reps are timed
+  // inside one run() on the persistent pool: the per-run dispatch constant
+  // stays out of the samples (it would compress the ratio toward 1 at
+  // small --lookups), and no sample pays thread creation.
   double mean = 0;
   sched.run([&] {
     mean = bench::repeat(reps, [&] {

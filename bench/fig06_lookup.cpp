@@ -25,21 +25,21 @@ int main(int argc, char** argv) {
   bench::JsonReport report("fig06_lookup");
   cilkm::Scheduler sched(1);
   for (unsigned n = 4; n <= 1024; n *= 2) {
-    double base = 0, mm = 0, hyper = 0, flat = 0;
-    sched.run([&] {
-      base = bench::repeat(reps, [&] { bench::add_base_n(n, lookups, grain); })
-                 .mean_s;
-      mm = bench::repeat(reps, [&] {
-             bench::MicroBench<cilkm::mm_policy>::add_n(n, lookups, grain);
-           }).mean_s;
-      hyper = bench::repeat(reps, [&] {
-                bench::MicroBench<cilkm::hypermap_policy>::add_n(n, lookups,
-                                                                 grain);
-              }).mean_s;
-      flat = bench::repeat(reps, [&] {
-               bench::MicroBench<cilkm::flat_policy>::add_n(n, lookups, grain);
-             }).mean_s;
-    });
+    const double base =
+        bench::repeat(sched, reps,
+                      [&] { bench::add_base_n(n, lookups, grain); }).mean_s;
+    const double mm = bench::repeat(sched, reps, [&] {
+                        bench::MicroBench<cilkm::mm_policy>::add_n(n, lookups,
+                                                                   grain);
+                      }).mean_s;
+    const double hyper =
+        bench::repeat(sched, reps, [&] {
+          bench::MicroBench<cilkm::hypermap_policy>::add_n(n, lookups, grain);
+        }).mean_s;
+    const double flat =
+        bench::repeat(sched, reps, [&] {
+          bench::MicroBench<cilkm::flat_policy>::add_n(n, lookups, grain);
+        }).mean_s;
     const double mm_over = mm - base;
     const double hyper_over = hyper - base;
     const double flat_over = flat - base;

@@ -34,13 +34,11 @@ int main(int argc, char** argv) {
     cilkm::Scheduler sched(p);
     std::printf("%-8u", p);
     for (std::size_t ni = 0; ni < std::size(kNs); ++ni) {
-      double mean = 0;
-      sched.run([&] {
-        mean = bench::repeat(reps, [&] {
-                 bench::MicroBench<cilkm::mm_policy>::add_n(kNs[ni], lookups,
-                                                            /*grain=*/1024);
-               }).mean_s;
-      });
+      const double mean =
+          bench::repeat(sched, reps, [&] {
+            bench::MicroBench<cilkm::mm_policy>::add_n(kNs[ni], lookups,
+                                                       /*grain=*/1024);
+          }).mean_s;
       if (p == 1) base[ni] = mean;
       std::printf(" %12.2f", base[ni] / mean);
       report.add("add-" + std::to_string(kNs[ni]), p,

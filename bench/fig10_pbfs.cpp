@@ -32,6 +32,8 @@ struct Row {
 template <typename Policy>
 double time_pbfs(cilkm::Scheduler& sched, const Graph& g, int reps,
                  BfsResult* out) {
+  // Ratio figure (mm normalized to hypermap): time the reps inside one
+  // run() so the per-run dispatch constant stays out of the samples.
   double mean = 0;
   sched.run([&] {
     mean = bench::repeat(reps, [&] { *out = pbfs<Policy>(g, 0); }).mean_s;

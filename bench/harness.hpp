@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <initializer_list>
 #include <memory>
@@ -143,9 +144,51 @@ RunStat repeat(int reps, F&& body) {
   return stats_of(std::move(samples));
 }
 
+/// Run `body` under `sched` `reps` times — one sched.run() per rep on the
+/// persistent pool. warm_up() first, so every sample times the parallel
+/// mechanism (wake, steal, reduce, quiesce) and none pays thread creation.
+template <typename F>
+RunStat repeat(cilkm::Scheduler& sched, int reps, F&& body) {
+  sched.warm_up();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = cilkm::now_ns();
+    sched.run([&] { body(); });
+    const auto t1 = cilkm::now_ns();
+    samples.push_back(static_cast<double>(t1 - t0) / 1e9);
+  }
+  return stats_of(std::move(samples));
+}
+
+/// Strict base-10 parse: the whole string must be one integer. Rejects the
+/// silent results std::atol gives for garbage like "abc" or "12abc".
+inline bool parse_long_strict(const char* text, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Integer flag lookup. A named flag with a missing, non-numeric, partially
+/// numeric, or negative value is a hard error (exit 2) rather than a
+/// silently substituted default (every bench flag is a count or a size).
 inline long flag_int(int argc, char** argv, const char* name, long def) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name);
+      std::exit(2);
+    }
+    long v = 0;
+    if (!parse_long_strict(argv[i + 1], &v) || v < 0) {
+      std::fprintf(stderr,
+                   "bad value '%s' for %s (want a non-negative integer)\n",
+                   argv[i + 1], name);
+      std::exit(2);
+    }
+    return v;
   }
   return def;
 }

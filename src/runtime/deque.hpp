@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/parking.hpp"
 #include "util/assert.hpp"
 #include "util/cache.hpp"
 
@@ -25,6 +26,16 @@ class Deque {
   static constexpr std::size_t kCapacity = std::size_t{1} << 16;
   static constexpr std::size_t kMask = kCapacity - 1;
 
+  /// Wire the owning scheduler's idle gate into this deque: push() then
+  /// wakes one parked worker after publishing the new bottom entry.
+  /// `wake_counter` (the owner's kWakes stat slot) counts pushes that found
+  /// a sleeper to wake. Unattached deques (unit tests, standalone use) pay
+  /// nothing beyond a null check.
+  void attach_wake_gate(EventCount* gate, std::uint64_t* wake_counter) noexcept {
+    gate_ = gate;
+    wake_counter_ = wake_counter;
+  }
+
   /// Owner only.
   void push(SpawnFrame* frame) noexcept {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
@@ -34,6 +45,9 @@ class Deque {
     buffer_[static_cast<std::size_t>(b) & kMask].store(
         frame, std::memory_order_relaxed);
     bottom_.store(b + 1, std::memory_order_release);
+    // notify_one() internally fences so the bottom store above is ordered
+    // before the waiter check (see parking.hpp).
+    if (gate_ != nullptr) *wake_counter_ += gate_->notify_one();
   }
 
   /// Owner only: pop the bottom entry unconditionally (scheduler self-steal
@@ -107,6 +121,8 @@ class Deque {
 
   alignas(kCacheLineSize) std::atomic<std::int64_t> top_{0};
   alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_{0};
+  EventCount* gate_ = nullptr;          // owner-written at attach, then const
+  std::uint64_t* wake_counter_ = nullptr;
   alignas(kCacheLineSize) std::atomic<SpawnFrame*> buffer_[kCapacity]{};
 };
 

@@ -1,0 +1,129 @@
+// Idle-worker parking: an eventcount (the classic two-phase sleep/wake
+// handshake) plus a cpu_relax() spin hint. Workers that find no work after
+// an exponential spin→yield backoff park on the scheduler's EventCount
+// instead of burning a core in std::this_thread::yield(); producers
+// (Deque::push, root completion, Scheduler::run) wake them.
+//
+// The lost-wakeup race is closed Dekker-style: a consumer REGISTERS
+// (prepare_wait), then RE-CHECKS its sleep condition, then blocks; a
+// producer PUBLISHES its work, then checks for registered waiters. The
+// waiter count and the wake epoch live in ONE atomic word, so the
+// registration RMW atomically captures the ticket — a wake that lands
+// between registration and the re-check cannot be missed (the ticket
+// predates it), and one that lands before registration synchronizes the
+// published work into the re-check. The seq_cst fences on both sides
+// guarantee at least one party observes the other — except notify_one's
+// deliberately relaxed fast-out (see notify()), whose rare miss is repaired
+// by the next publication. A timed backstop in wait() bounds the cost of
+// that miss (and of any future ordering bug) to one backstop period.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cilkm::rt {
+
+/// Pause hint for spin loops: keeps the core's speculation machinery (and a
+/// hyperthread sibling) out of the way without yielding the time slice.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class EventCount {
+ public:
+  /// Producer side. Call AFTER the new work (or completion flag) has been
+  /// made visible. Returns the number of registered waiters signalled
+  /// (notify_one signals at most one, notify_all every waiter registered at
+  /// the epoch bump) — callers use this to count wake-ups delivered.
+  std::uint32_t notify_one() noexcept { return notify(false); }
+  std::uint32_t notify_all() noexcept { return notify(true); }
+
+  /// Consumer side, phase 1: register intent to sleep; the returned ticket
+  /// is the epoch at the instant of registration (same RMW, so no wake can
+  /// slip between the two). The caller MUST re-check its sleep condition
+  /// after this call and then either cancel_wait() (work appeared) or
+  /// wait() (commit to sleeping).
+  std::uint32_t prepare_wait() noexcept {
+    const std::uint64_t prev =
+        state_.fetch_add(kWaiterInc, std::memory_order_seq_cst);
+    // Pairs with the producer-side fence in notify(): one of the two
+    // parties is guaranteed to observe the other.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return epoch_of(prev);
+  }
+
+  void cancel_wait() noexcept {
+    state_.fetch_sub(kWaiterInc, std::memory_order_release);
+  }
+
+  /// Consumer side, phase 2: block until the epoch moves past `ticket` (a
+  /// producer notified) or the backstop elapses. Deregisters on return.
+  void wait(std::uint32_t ticket, std::chrono::milliseconds backstop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, backstop, [&] {
+      return epoch_of(state_.load(std::memory_order_relaxed)) != ticket;
+    });
+    state_.fetch_sub(kWaiterInc, std::memory_order_release);
+  }
+
+ private:
+  // state_ layout: [epoch : 32 | waiter count : 32]. Epoch wrap-around after
+  // 2^32 notifies while one waiter holds a ticket is theoretical; the timed
+  // backstop bounds even that to one period.
+  static constexpr std::uint64_t kWaiterInc = 1;
+  static constexpr std::uint64_t kWaiterMask = (std::uint64_t{1} << 32) - 1;
+  static constexpr std::uint64_t kEpochInc = std::uint64_t{1} << 32;
+
+  static std::uint32_t epoch_of(std::uint64_t state) noexcept {
+    return static_cast<std::uint32_t>(state >> 32);
+  }
+
+  std::uint32_t notify(bool all) noexcept {
+    // Hot-path fast-out for notify_one: Deque::push calls this on every
+    // spawn, and with no one parked a relaxed read avoids a full fence per
+    // push. The relaxed read can theoretically miss a concurrently
+    // registering waiter (no fence pairing); that lone missed wake is
+    // repaired by the next publication or the waiter's timed backstop.
+    // notify_all (root completion — quiescence) always takes the fenced
+    // path, so ending a run never relies on the backstop.
+    if (!all &&
+        (state_.load(std::memory_order_relaxed) & kWaiterMask) == 0) {
+      return 0;
+    }
+    // Order the producer's preceding publication (deque bottom store, done
+    // flag) before the waiter check; pairs with prepare_wait's fence.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if ((state_.load(std::memory_order_relaxed) & kWaiterMask) == 0) {
+      return 0;
+    }
+    std::uint32_t waiters;
+    {
+      // The epoch bump must happen under the mutex so a waiter between its
+      // final predicate check and the actual block cannot miss it.
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::uint64_t prev =
+          state_.fetch_add(kEpochInc, std::memory_order_seq_cst);
+      waiters = static_cast<std::uint32_t>(prev & kWaiterMask);
+    }
+    if (waiters == 0) return 0;  // every candidate cancelled before the bump
+    if (all) {
+      cv_.notify_all();
+      return waiters;
+    }
+    cv_.notify_one();
+    return 1;
+  }
+
+  std::atomic<std::uint64_t> state_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace cilkm::rt

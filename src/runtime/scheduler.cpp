@@ -1,6 +1,6 @@
 #include "runtime/scheduler.hpp"
 
-#include <thread>
+#include <utility>
 
 #include "tlmm/region.hpp"
 #include "util/assert.hpp"
@@ -13,9 +13,21 @@ Scheduler::Scheduler(unsigned num_workers) {
   for (unsigned i = 0; i < num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(this, i));
   }
+  for (auto& worker : workers_) {
+    worker->deque().attach_wake_gate(&idle_gate_,
+                                     &worker->stats()[StatCounter::kWakes]);
+  }
 }
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    CILKM_CHECK(!running_, "Scheduler destroyed while a run is in flight");
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
 
 Worker* Scheduler::random_victim(Worker* thief) {
   const unsigned n = num_workers();
@@ -25,29 +37,80 @@ Worker* Scheduler::random_victim(Worker* thief) {
   return workers_[victim].get();
 }
 
+bool Scheduler::work_available() const noexcept {
+  for (const auto& worker : workers_) {
+    if (!worker->deque_.empty()) return true;
+  }
+  return false;
+}
+
+void Scheduler::start_threads_locked() {
+  if (!threads_.empty()) return;
+  threads_.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    threads_.emplace_back([this, w = worker.get()] { worker_thread(w); });
+  }
+}
+
+void Scheduler::warm_up() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  start_threads_locked();
+}
+
+/// Persistent body of one pool thread: TLS is installed once for the life of
+/// the thread; between runs the thread sleeps on start_cv_ until run() opens
+/// a new epoch (or the destructor shuts the pool down).
+void Scheduler::worker_thread(Worker* w) {
+  tls_worker = w;
+  tlmm::tls_region_base = w->region_base();
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(lifecycle_mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || run_epoch_ != seen_epoch; });
+      if (shutdown_) break;
+      seen_epoch = run_epoch_;
+    }
+    w->scheduler_loop();
+    CILKM_DCHECK(w->ambient_empty(), "worker exits with live ambient views");
+    {
+      std::lock_guard<std::mutex> lock(lifecycle_mu_);
+      if (--active_workers_ == 0) quiesce_cv_.notify_all();
+    }
+  }
+  tls_worker = nullptr;
+  tlmm::tls_region_base = nullptr;
+}
+
 void Scheduler::run(std::function<void()> root) {
   CILKM_CHECK(Worker::current() == nullptr,
               "Scheduler::run may not be called from inside a run");
-  root_fn_ = std::move(root);
-  root_eptr_ = nullptr;
-  done_.store(false, std::memory_order_relaxed);
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers_.size());
-  for (auto& worker : workers_) {
-    threads.emplace_back([w = worker.get()] {
-      tls_worker = w;
-      tlmm::tls_region_base = w->region_base();
-      w->scheduler_loop();
-      CILKM_DCHECK(w->ambient_empty(), "worker exits with live ambient views");
-      tls_worker = nullptr;
-      tlmm::tls_region_base = nullptr;
-    });
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    CILKM_CHECK(!running_, "Scheduler::run is not reentrant");
+    running_ = true;
+    // Publish the run's inputs before the epoch opens: workers only read
+    // them after observing the new epoch under this mutex.
+    root_fn_ = std::move(root);
+    root_eptr_ = nullptr;
+    done_.store(false, std::memory_order_release);
+    start_threads_locked();
+    active_workers_ = num_workers();
+    ++run_epoch_;
   }
-  for (auto& thread : threads) thread.join();
-
-  root_fn_ = nullptr;
-  if (root_eptr_ != nullptr) std::rethrow_exception(root_eptr_);
+  start_cv_.notify_all();
+  std::exception_ptr eptr;
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    quiesce_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    running_ = false;
+    root_fn_ = nullptr;
+    // Take the exception out under the lock: once running_ drops, another
+    // external thread may legally begin the next run.
+    eptr = std::exchange(root_eptr_, nullptr);
+  }
+  if (eptr != nullptr) std::rethrow_exception(eptr);
 }
 
 WorkerStats Scheduler::aggregate_stats() const {

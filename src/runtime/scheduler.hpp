@@ -1,16 +1,23 @@
 // The work-stealing scheduler: owns the workers, runs root tasks, selects
-// steal victims, and aggregates statistics. Workers persist across run()
-// calls so reducer slot offsets and pools stay warm; OS threads are created
-// per run.
+// steal victims, and aggregates statistics. The pool is persistent: OS
+// threads are created once (lazily on the first run(), or eagerly via
+// warm_up()) and survive across run() calls, parking between and during
+// runs instead of spinning, so repeated runs pay a wake-up — not thread
+// creation and TLMM-region TLS rebuild — per invocation. Workers also
+// persist logically, keeping reducer slot offsets and pools warm.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "runtime/parking.hpp"
 #include "runtime/worker.hpp"
 
 namespace cilkm::rt {
@@ -18,40 +25,76 @@ namespace cilkm::rt {
 class Scheduler {
  public:
   explicit Scheduler(unsigned num_workers);
+
+  /// Parks the pool, joins the worker threads. Must not be called while a
+  /// run is in flight (run() does not return until quiescence, so ordinary
+  /// single-owner usage is safe by construction).
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Execute `root` to completion on the worker pool. Exceptions escaping
-  /// the root task are rethrown here. Reentrant calls are not allowed.
+  /// the root task are rethrown here; a throwing run leaves the pool fully
+  /// quiesced and reusable. Reentrant calls are not allowed, and at most
+  /// one external thread may be inside run() at a time.
   void run(std::function<void()> root);
+
+  /// Create the worker threads now (idempotent). run() does this lazily;
+  /// benches call it so the first timed sample doesn't pay thread creation.
+  void warm_up();
 
   unsigned num_workers() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
   Worker& worker(unsigned i) noexcept { return *workers_[i]; }
 
-  /// Sum of all workers' counters (reset_stats() clears them).
+  /// Sum of all workers' counters. Counters accumulate across run() calls
+  /// on the same pool; call reset_stats() between runs for per-run numbers.
   WorkerStats aggregate_stats() const;
   void reset_stats();
 
-  /// Total successful steals in the last run; convenience for tests/benches.
+  /// Genuine cross-worker thefts (excludes own-deque promotions, which are
+  /// counted under kSelfPops) since construction or the last reset_stats().
   std::uint64_t total_steals() const;
 
  private:
   friend class Worker;
   friend void fiber_main(void* arg);
 
+  void start_threads_locked();
+  void worker_thread(Worker* w);
   Worker* random_victim(Worker* thief);
 
+  /// True iff any worker's deque holds a stealable frame. Used by the park
+  /// protocol's post-registration re-check.
+  bool work_available() const noexcept;
+
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
   std::atomic<bool> done_{false};
   std::function<void()> root_fn_;
   std::exception_ptr root_eptr_;
+
+  // Mid-run idle parking (see parking.hpp). Producers: Deque::push, the
+  // root-completion path in fiber_main.
+  EventCount idle_gate_;
+
+  // Pool lifecycle. All fields below are guarded by lifecycle_mu_; workers
+  // sleep on start_cv_ between runs, run() sleeps on quiesce_cv_ until every
+  // worker has left the run.
+  std::mutex lifecycle_mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable quiesce_cv_;
+  std::uint64_t run_epoch_ = 0;
+  unsigned active_workers_ = 0;
+  bool running_ = false;
+  bool shutdown_ = false;
 };
 
-/// Convenience: run `root` on a fresh P-worker scheduler.
+/// Convenience: run `root` on a fresh P-worker scheduler. One-shot — code
+/// that runs repeatedly should hold a Scheduler and reuse the pool.
 void run(unsigned num_workers, std::function<void()> root);
 
 }  // namespace cilkm::rt

@@ -18,7 +18,7 @@
 namespace cilkm::rt {
 
 enum class TraceEvent : std::uint8_t {
-  kSteal,          // acquired a frame from a deque (incl. self-steal)
+  kSteal,          // stole a frame from another worker's deque
   kLaunch,         // started a fiber for a stolen frame or the root
   kPark,           // suspended a continuation at a join
   kResumeByThief,  // joining steal: thief resumed the parked continuation
@@ -26,12 +26,14 @@ enum class TraceEvent : std::uint8_t {
   kDepositLeft,    // victim-side view transferal into a frame
   kDepositRight,   // thief-side view transferal into a frame
   kMerge,          // hypermerge of a deposit into ambient views
+  kSelfPop,        // promoted a frame from the worker's own deque
   kRootDone,       // root task completed
 };
 
 constexpr std::string_view to_string(TraceEvent e) noexcept {
   switch (e) {
     case TraceEvent::kSteal: return "steal";
+    case TraceEvent::kSelfPop: return "self_pop";
     case TraceEvent::kLaunch: return "launch";
     case TraceEvent::kPark: return "park";
     case TraceEvent::kResumeByThief: return "resume_by_thief";

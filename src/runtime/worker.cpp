@@ -1,5 +1,6 @@
 #include "runtime/worker.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "runtime/sanitizer.hpp"
@@ -60,6 +61,10 @@ void fiber_main(void* arg) {
     w2->current_fiber_ = nullptr;
     Tracer::instance().record(w2->id(), TraceEvent::kRootDone, nullptr);
     w2->scheduler()->done_.store(true, std::memory_order_release);
+    // Idle workers may be parked on the gate; they must all observe the done
+    // flag to quiesce the run.
+    w2->stats_[StatCounter::kWakes] +=
+        w2->scheduler()->idle_gate_.notify_all();
     tsan::switch_to(w2->sched_tsan_);
     cilkm_ctx_switch(&self->ctx, &w2->sched_ctx_);
     __builtin_unreachable();
@@ -144,12 +149,57 @@ void Worker::join_slow(SpawnFrame* frame) {
   Worker::current()->drain_pending();
 }
 
+SpawnFrame* Worker::try_steal_round() {
+  const unsigned n = sched_->num_workers();
+  if (n <= 1) return nullptr;
+  // A couple of tours over randomly-chosen victims, capped so wide
+  // oversubscribed pools still re-check the done flag promptly.
+  const unsigned attempts = std::min(2 * (n - 1), 16u);
+  for (unsigned a = 0; a < attempts; ++a) {
+    Worker* victim = sched_->random_victim(this);
+    ++stats_[StatCounter::kStealAttempts];
+    SpawnFrame* frame = victim->deque_.steal();
+    if (frame != nullptr) return frame;
+    cpu_relax();
+  }
+  return nullptr;
+}
+
+void Worker::park_idle(unsigned episode_parks) {
+  EventCount& gate = sched_->idle_gate_;
+  const std::uint32_t ticket = gate.prepare_wait();
+  // Registered as a waiter — re-check everything a producer could have
+  // published before it saw us: the done flag and every deque. Publications
+  // after this point are guaranteed to observe the registration and notify.
+  if (sched_->done_.load(std::memory_order_acquire) ||
+      sched_->work_available()) {
+    gate.cancel_wait();
+    return;
+  }
+  // kParks counts idle EPISODES, not poll cycles: re-parking after a
+  // backstop expiry (episode_parks > 1) is the same episode.
+  if (episode_parks == 1) ++stats_[StatCounter::kParks];
+  // The backstop bounds the damage of any missed wake-up; in correct
+  // operation only a notify ends the wait. It escalates exponentially
+  // (2ms → 64ms) across one episode so long-idle workers converge to a
+  // handful of spurious wake-ups per second instead of a 500 Hz poll.
+  const auto backstop =
+      std::chrono::milliseconds(2L << std::min(episode_parks - 1, 5u));
+  gate.wait(ticket, backstop);
+}
+
 void Worker::scheduler_loop() {
   // Record this thread's own TSan identity so fibers can switch back to the
-  // scheduler stack. Re-recorded every run: worker threads are fresh.
+  // scheduler stack. The pool thread persists across runs, so this is
+  // idempotent after the first run.
   sched_tsan_ = tsan::current_fiber();
   const bool is_bootstrap = (id_ == 0);
   if (is_bootstrap) launch(nullptr);  // run the root task
+
+  // Exponential idle backoff: pause-spin rounds, then yields, then parking.
+  constexpr unsigned kSpinRounds = 48;
+  constexpr unsigned kYieldRounds = 8;
+  unsigned idle_rounds = 0;
 
   while (true) {
     drain_pending();
@@ -166,6 +216,9 @@ void Worker::scheduler_loop() {
         current_fiber_ = frame->parked_fiber;
         tsan::switch_to(frame->parked_fiber->tsan_fiber);
         cilkm_ctx_switch(&sched_ctx_, &frame->parked);
+        // The resumed continuation ran (and may have spawned): restart the
+        // idle backoff from the spin phase rather than parking immediately.
+        idle_rounds = 0;
         continue;
       }
       // We arrived first; the thief will resume the continuation.
@@ -174,18 +227,36 @@ void Worker::scheduler_loop() {
 
     CILKM_DCHECK(ambient_empty(), "stealing with non-empty ambient views");
     SpawnFrame* frame = deque_.take_any();
-    if (frame == nullptr) {
-      Worker* victim = sched_->random_victim(this);
-      if (victim != nullptr) frame = victim->deque_.steal();
+    if (frame != nullptr) {
+      // Promoting a frame from our own deque is not a theft: count and
+      // trace it separately so the steal rate reported for the paper's
+      // figures (and total_steals()) measures genuine cross-worker traffic.
+      ++stats_[StatCounter::kSelfPops];
+      Tracer::instance().record(id_, TraceEvent::kSelfPop, frame);
+    } else {
+      frame = try_steal_round();
+      if (frame != nullptr) {
+        ++stats_[StatCounter::kSteals];
+        Tracer::instance().record(id_, TraceEvent::kSteal, frame);
+      }
     }
     if (frame != nullptr) {
-      ++stats_[StatCounter::kSteals];
-      Tracer::instance().record(id_, TraceEvent::kSteal, frame);
+      idle_rounds = 0;
       frame->stolen.store(true, std::memory_order_relaxed);
       launch(frame);
       continue;
     }
-    std::this_thread::yield();
+    // Nothing runnable anywhere we looked: back off, then park.
+    ++idle_rounds;
+    if (idle_rounds <= kSpinRounds) {
+      for (unsigned i = 0; i < 1u << std::min(idle_rounds / 8, 5u); ++i) {
+        cpu_relax();
+      }
+    } else if (idle_rounds <= kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      park_idle(idle_rounds - kSpinRounds - kYieldRounds);
+    }
   }
 }
 

@@ -34,7 +34,10 @@ class Worker {
   WorkerStats& stats() noexcept { return stats_; }
   Deque& deque() noexcept { return deque_; }
 
-  /// Main loop: bootstraps the root (worker 0), then steals until done.
+  /// Main loop for one run: bootstraps the root (worker 0), then promotes
+  /// own-deque frames and steals until the run's done flag rises, parking on
+  /// the scheduler's idle gate (after a spin→yield backoff) while no work
+  /// exists anywhere.
   void scheduler_loop();
 
   /// Slow join path for fork2join when the deferred branch was stolen.
@@ -57,6 +60,17 @@ class Worker {
 
   void launch(SpawnFrame* frame_or_null_root);
   void drain_pending();
+
+  /// One steal round: several randomly-chosen victims with pause backoff
+  /// between attempts. Every attempt (hit or miss) bumps kStealAttempts.
+  SpawnFrame* try_steal_round();
+
+  /// Two-phase park on the scheduler's idle gate: register, re-check (done
+  /// flag, any stealable work), then block. Returns after a wake-up or the
+  /// backstop; the caller re-runs the full loop either way. `episode_parks`
+  /// is 1 on the first park of an idle episode (counted in kParks) and grows
+  /// with each consecutive re-park, escalating the backstop.
+  void park_idle(unsigned episode_parks);
 
   // Trace-emitting wrappers around the views-layer merges, so every merge
   // in the join protocol is recorded exactly once (the views layer knows

@@ -21,8 +21,12 @@ enum class StatCounter : unsigned {
   kViewsCreated,     ///< number of identity views created
   kViewsTransferred, ///< number of view pointers copied private -> public
   kHypermerges,      ///< number of deposit-merge operations
-  kSteals,           ///< successful steals (incl. self-steals from scheduler)
+  kSteals,           ///< genuine thefts from another worker's deque
+  kSelfPops,         ///< frames promoted from the worker's own deque
+  kStealAttempts,    ///< steal() attempts on victims, successful or not
   kJoiningSteals,    ///< joins resumed by the non-owning worker
+  kParks,            ///< idle episodes in which the worker blocked (parked)
+  kWakes,            ///< wake-ups this worker's pushes/completions delivered
   kFibersAllocated,  ///< fiber stacks allocated (cactus-stack pressure)
   kCount
 };
@@ -37,7 +41,11 @@ constexpr std::string_view to_string(StatCounter c) noexcept {
     case StatCounter::kViewsTransferred: return "views_transferred";
     case StatCounter::kHypermerges: return "hypermerges";
     case StatCounter::kSteals: return "steals";
+    case StatCounter::kSelfPops: return "self_pops";
+    case StatCounter::kStealAttempts: return "steal_attempts";
     case StatCounter::kJoiningSteals: return "joining_steals";
+    case StatCounter::kParks: return "parks";
+    case StatCounter::kWakes: return "wakes";
     case StatCounter::kFibersAllocated: return "fibers_allocated";
     case StatCounter::kCount: break;
   }

@@ -10,5 +10,6 @@
 int main(int argc, char** argv) {
   cilkm::workloads::DriverOptions opts;
   if (!cilkm::workloads::parse_driver_options(argc, argv, &opts)) return 2;
+  if (opts.help) return 0;  // usage already printed, nothing to run
   return cilkm::workloads::run_matrix(opts) == 0 ? 0 : 1;
 }

@@ -4,9 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "bench/harness.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace cilkm::workloads {
 
@@ -20,6 +24,18 @@ constexpr const char* kUsage =
     "Runs registered workload cells (workload x policy x workers); every cell\n"
     "verifies itself against a serial reference. Exits nonzero if any cell\n"
     "fails verification. Writes BENCH_<figure>.json unless --figure none.\n";
+
+using bench::parse_long_strict;
+
+bool parse_u64_strict(const char* text, std::uint64_t* out) {
+  // strtoull silently wraps negative input ("-1" → 2^64-1); reject it.
+  if (std::strchr(text, '-') != nullptr) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
 
 bool parse_workers_list(const char* text, std::vector<unsigned>* out) {
   const char* p = text;
@@ -78,20 +94,26 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
       }
     } else if (std::strcmp(arg, "--scale") == 0) {
       if (!need_value(i)) return false;
-      const long v = std::atol(argv[++i]);
-      if (v < 1) {
-        std::fprintf(stderr, "--scale must be >= 1\n%s", kUsage);
+      long v = 0;
+      if (!parse_long_strict(argv[++i], &v) || v < 1) {
+        std::fprintf(stderr, "bad --scale '%s' (want an integer >= 1)\n%s",
+                     argv[i], kUsage);
         return false;
       }
       out->scale = static_cast<unsigned>(v);
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (!need_value(i)) return false;
-      out->seed = std::strtoull(argv[++i], nullptr, 0);
+      if (!parse_u64_strict(argv[++i], &out->seed)) {
+        std::fprintf(stderr, "bad --seed '%s' (want an integer)\n%s", argv[i],
+                     kUsage);
+        return false;
+      }
     } else if (std::strcmp(arg, "--reps") == 0) {
       if (!need_value(i)) return false;
-      const long v = std::atol(argv[++i]);
-      if (v < 1) {
-        std::fprintf(stderr, "--reps must be >= 1\n%s", kUsage);
+      long v = 0;
+      if (!parse_long_strict(argv[++i], &v) || v < 1) {
+        std::fprintf(stderr, "bad --reps '%s' (want an integer >= 1)\n%s",
+                     argv[i], kUsage);
         return false;
       }
       out->reps = static_cast<int>(v);
@@ -101,7 +123,8 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
       out->figure = name == "none" ? std::string{} : name;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::fputs(kUsage, stdout);
-      out->list_only = true;
+      out->help = true;
+      return true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n%s", arg, kUsage);
       return false;
@@ -113,6 +136,7 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
 int run_matrix(const DriverOptions& opts) {
   Registry& registry = Registry::instance();
 
+  if (opts.help) return 0;
   if (opts.list_only) {
     for (const Workload& w : registry.all()) {
       std::printf("%-12s %s\n", w.name.c_str(), w.summary.c_str());
@@ -142,10 +166,21 @@ int run_matrix(const DriverOptions& opts) {
   std::vector<unsigned> workers =
       opts.workers.empty() ? default_worker_counts() : opts.workers;
 
-  bench::JsonReport* report = nullptr;
-  bench::JsonReport report_storage(opts.figure.empty() ? "unused"
-                                                       : opts.figure);
-  if (!opts.figure.empty()) report = &report_storage;
+  // Only materialise the report when a figure was requested: JsonReport
+  // flushes on destruction, so an unconditional instance would leave a stray
+  // BENCH_*.json behind every figure-less invocation (--figure none, the
+  // example shims, tests).
+  std::optional<bench::JsonReport> report;
+  if (!opts.figure.empty()) report.emplace(opts.figure);
+
+  // One persistent pool per worker count, shared across every workload,
+  // policy, and rep: cells time the computation on warm workers, not
+  // per-invocation thread creation.
+  std::map<unsigned, std::unique_ptr<rt::Scheduler>> pools;
+  for (const unsigned p : workers) {
+    auto& pool = pools[p];
+    if (pool == nullptr) pool = std::make_unique<rt::Scheduler>(p);
+  }
 
   std::printf("%-12s %-9s %3s %6s %12s %12s  %s\n", "workload", "policy", "P",
               "verify", "median_s", "stddev_s", "detail");
@@ -157,6 +192,7 @@ int run_matrix(const DriverOptions& opts) {
         cfg.workers = p;
         cfg.scale = opts.scale;
         cfg.seed = opts.seed;
+        cfg.scheduler = pools[p].get();
 
         std::vector<double> samples;
         // On failure, report the FIRST failing rep's detail — later passing
@@ -175,7 +211,7 @@ int run_matrix(const DriverOptions& opts) {
         std::printf("%-12s %-9s %3u %6s %12.6f %12.6f  %s\n", w->name.c_str(),
                     policy_name(policy), p, verified ? "ok" : "FAIL",
                     stat.median_s, stat.stddev_s, shown.detail.c_str());
-        if (report != nullptr) {
+        if (report.has_value()) {
           report->add(w->name + "/" + policy_name(policy),
                       static_cast<double>(p),
                       {{"median_s", stat.median_s},
@@ -185,7 +221,7 @@ int run_matrix(const DriverOptions& opts) {
       }
     }
   }
-  if (report != nullptr) report->flush();
+  if (report.has_value()) report->flush();
 
   if (failures != 0) {
     std::fprintf(stderr, "%d cell(s) FAILED verification\n", failures);
@@ -196,16 +232,31 @@ int run_matrix(const DriverOptions& opts) {
 int example_main(const char* workload, int argc, char** argv) {
   DriverOptions opts;
   opts.workload_names.push_back(workload);
+  opts.workers.push_back(4);
+  opts.figure.clear();  // examples print the table only, no JSON artefact
+
+  auto positional = [&](int index, const char* what, long* out) {
+    if (!parse_long_strict(argv[index], out) || *out < 1) {
+      std::fprintf(stderr, "%s: bad %s '%s' (want a positive integer)\n",
+                   argv[0], what, argv[index]);
+      return false;
+    }
+    return true;
+  };
+  if (argc > 3) {
+    std::fprintf(stderr, "usage: %s [workers] [scale]\n", argv[0]);
+    return 2;
+  }
   if (argc > 1) {
-    const long p = std::atol(argv[1]);
-    if (p >= 1) opts.workers.push_back(static_cast<unsigned>(p));
+    long p = 0;
+    if (!positional(1, "worker count", &p)) return 2;
+    opts.workers.assign(1, static_cast<unsigned>(p));
   }
   if (argc > 2) {
-    const long s = std::atol(argv[2]);
-    if (s >= 1) opts.scale = static_cast<unsigned>(s);
+    long s = 0;
+    if (!positional(2, "scale", &s)) return 2;
+    opts.scale = static_cast<unsigned>(s);
   }
-  if (opts.workers.empty()) opts.workers.push_back(4);
-  opts.figure.clear();  // examples print the table only, no JSON artefact
   return run_matrix(opts) == 0 ? 0 : 1;
 }
 

@@ -21,6 +21,7 @@ struct DriverOptions {
   std::uint64_t seed = RunConfig{}.seed;
   int reps = 1;                // timing repetitions per cell (median reported)
   bool list_only = false;
+  bool help = false;           // --help: print usage and exit successfully
   std::string figure = "workloads";  // BENCH_<figure>.json; empty = no JSON
 };
 
@@ -28,16 +29,21 @@ struct DriverOptions {
 std::vector<unsigned> default_worker_counts();
 
 /// Parse cilkm_run flags. Returns false (after printing usage to stderr) on
-/// unknown flags or unparseable values.
+/// unknown flags or unparseable values — including trailing flags with no
+/// value and non-numeric or out-of-range numbers. --help sets out->help;
+/// callers should then exit 0 without running anything.
 bool parse_driver_options(int argc, char** argv, DriverOptions* out);
 
 /// Execute the selected cell matrix: prints one table row per cell, writes
-/// BENCH_<figure>.json, and returns the number of cells whose verify()
-/// failed (0 = everything checked out).
+/// BENCH_<figure>.json when a figure is requested (and no JSON file at all
+/// otherwise), and returns the number of cells whose verify() failed
+/// (0 = everything checked out). One persistent Scheduler per worker count
+/// is reused across all workloads, policies, and reps.
 int run_matrix(const DriverOptions& opts);
 
 /// Shared main() for the examples/ shims: positional [workers] [scale],
-/// running one named workload under all three policies.
+/// running one named workload under all three policies. Rejects
+/// non-numeric, non-positive, or extra arguments with exit status 2.
 int example_main(const char* workload, int argc, char** argv);
 
 }  // namespace cilkm::workloads

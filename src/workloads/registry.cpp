@@ -1,10 +1,22 @@
 #include "workloads/workload.hpp"
 
 #include <cstring>
+#include <utility>
 
+#include "runtime/scheduler.hpp"
 #include "util/assert.hpp"
 
 namespace cilkm::workloads {
+
+void run_cell(const RunConfig& cfg, std::function<void()> root) {
+  if (cfg.scheduler != nullptr) {
+    CILKM_CHECK(cfg.scheduler->num_workers() == cfg.workers,
+                "run_cell: pool size does not match cfg.workers");
+    cfg.scheduler->run(std::move(root));
+  } else {
+    rt::run(cfg.workers, std::move(root));
+  }
+}
 
 // One hook per workload file, called in a fixed order so --list and the test
 // matrix enumerate deterministically. Adding a workload = one w_*.cpp file

@@ -27,7 +27,7 @@ struct ArgMinMax {
     max_index_reducer<std::int64_t, std::uint64_t, Policy> hi;
 
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       parallel_for(0, n, 2048, [&](std::int64_t i) {
         const std::uint64_t v = value_at(cfg.seed, i);
         op_min_index<std::int64_t, std::uint64_t>::update(lo.view(), i, v);

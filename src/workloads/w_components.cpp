@@ -59,7 +59,7 @@ struct Components {
     std::vector<Vertex> first_changed_history;
 
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       while (true) {
         reducer_opadd<std::uint64_t, Policy> changed;
         reducer_min<Vertex, Policy> first_changed;

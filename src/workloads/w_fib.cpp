@@ -47,7 +47,7 @@ struct Fib {
     reducer_opadd<std::uint64_t, Policy> leaves;
     std::uint64_t value = 0;
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] { value = fib<Policy>(n, leaves); });
+    run_cell(cfg, [&] { value = fib<Policy>(n, leaves); });
     const auto t1 = now_ns();
 
     std::uint64_t expect_leaves = 0;

@@ -37,7 +37,7 @@ struct Histogram {
     reducer_max<std::uint64_t, Policy> largest;
 
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       parallel_for(0, n, 1024, [&](std::int64_t i) {
         const std::uint64_t v =
             mix(cfg.seed + static_cast<std::uint64_t>(i));

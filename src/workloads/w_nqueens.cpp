@@ -83,7 +83,7 @@ struct NQueens {
     reducer_opadd<long, Policy> count;
     vector_reducer<std::uint64_t, Policy> solutions;
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       solve<Policy>(Board{{}, n}, 0, n, count, solutions);
     });
     const auto t1 = now_ns();

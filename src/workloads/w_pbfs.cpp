@@ -24,7 +24,7 @@ struct Pbfs {
 
     BfsResult got;
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] { got = pbfs<Policy>(g, 0); });
+    run_cell(cfg, [&] { got = pbfs<Policy>(g, 0); });
     const auto t1 = now_ns();
 
     RunResult out;

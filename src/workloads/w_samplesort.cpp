@@ -47,7 +47,7 @@ struct SampleSort {
     }
 
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       parallel_for(0, static_cast<std::int64_t>(n), 1024,
                    [&](std::int64_t i) {
                      const std::uint64_t v =
@@ -65,7 +65,7 @@ struct SampleSort {
     for (unsigned b = 0; b < kBuckets; ++b) {
       sorted[b] = buckets[b]->move_value();
     }
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       parallel_for(0, kBuckets, 1, [&](std::int64_t b) {
         std::sort(sorted[static_cast<std::size_t>(b)].begin(),
                   sorted[static_cast<std::size_t>(b)].end());

@@ -20,7 +20,7 @@ struct SumLoop {
     reducer_opmul<long long, Policy> parity;  // (-1)^N via repeated * -1
 
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       parallel_for(1, n + 1, 4096, [&](std::int64_t i) {
         *sum += i;
         *parity *= -1;

@@ -61,7 +61,7 @@ struct TreeWalk {
 
     list_append_reducer<const Node*, Policy> l;
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] { walk<Policy>(root, l); });
+    run_cell(cfg, [&] { walk<Policy>(root, l); });
     const auto t1 = now_ns();
 
     std::list<const Node*> expect;

@@ -62,7 +62,7 @@ struct WordCount {
 
     reducer<WordCountMonoid, Policy> counts;
     const auto t0 = now_ns();
-    cilkm::run(cfg.workers, [&] {
+    run_cell(cfg, [&] {
       parallel_for(0, static_cast<std::int64_t>(corpus.size()), 64,
                    [&](std::int64_t i) {
                      count_words(corpus[static_cast<std::size_t>(i)],

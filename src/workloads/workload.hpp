@@ -1,18 +1,25 @@
 // The workload subsystem: registered, self-checking scenarios exercised
 // across every reducer view-store policy. A Workload is (name, input-size
 // knob, one run function per policy); each run function executes the
-// parallel computation under cilkm::run and verifies the outcome against a
-// serial reference before returning, so every registered scenario doubles
+// parallel computation via run_cell — on the driver's persistent per-P
+// scheduler when one is supplied, else a fresh pool — and verifies the
+// outcome against a serial reference before returning, so every registered
+// scenario doubles
 // as a regression test. The cilkm_run driver (and tests/test_workloads.cpp)
 // sweep the full workload × policy × worker-count matrix.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/reducer.hpp"
 #include "util/rng.hpp"
+
+namespace cilkm::rt {
+class Scheduler;
+}
 
 namespace cilkm::workloads {
 
@@ -36,7 +43,16 @@ struct RunConfig {
   unsigned workers = 4;
   unsigned scale = 1;
   std::uint64_t seed = kDefaultSeed;
+  /// Optional persistent worker pool to run on (must have `workers` workers).
+  /// The driver passes one pool per worker count so a cell's timing measures
+  /// the mechanism, not thread creation; null runs on a fresh pool.
+  rt::Scheduler* scheduler = nullptr;
 };
+
+/// Execute `root` for one cell: on cfg.scheduler when provided (pool reuse
+/// across reps/policies), otherwise on a fresh cfg.workers-worker pool.
+/// Every workload body funnels its parallel section through this.
+void run_cell(const RunConfig& cfg, std::function<void()> root);
 
 /// Outcome of one cell. `verified` is the workload's self-check against its
 /// serial reference; `seconds` times only the parallel section (inside
