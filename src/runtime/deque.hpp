@@ -26,14 +26,22 @@ class Deque {
   static constexpr std::size_t kCapacity = std::size_t{1} << 16;
   static constexpr std::size_t kMask = kCapacity - 1;
 
-  /// Wire the owning scheduler's idle gate into this deque: push() then
-  /// wakes one parked worker after publishing the new bottom entry.
-  /// `wake_counter` (the owner's kWakes stat slot) counts pushes that found
-  /// a sleeper to wake. Unattached deques (unit tests, standalone use) pay
-  /// nothing beyond a null check.
-  void attach_wake_gate(EventCount* gate, std::uint64_t* wake_counter) noexcept {
-    gate_ = gate;
+  /// Wire the owning scheduler's parking lot into this deque: push() then
+  /// wakes parked workers after publishing the new bottom entry. `tier_of`
+  /// (indexed by worker id, owned by the scheduler) ranks sleepers by
+  /// proximity to this deque's owner; `wake_batch` caps how many sleepers
+  /// one push may wake (≥ 1; batching engages only when the deque is
+  /// backing up — see push()). `wake_counter` / `batch_counter` are the
+  /// owner's kWakes / kBatchWakes stat slots. Unattached deques (unit
+  /// tests, standalone use) pay nothing beyond a null check.
+  void attach_wake_gate(ParkingLot* lot, const std::uint8_t* tier_of,
+                        unsigned wake_batch, std::uint64_t* wake_counter,
+                        std::uint64_t* batch_counter) noexcept {
+    lot_ = lot;
+    wake_tier_of_ = tier_of;
+    wake_batch_ = wake_batch < 1 ? 1 : wake_batch;
     wake_counter_ = wake_counter;
+    batch_counter_ = batch_counter;
   }
 
   /// Owner only.
@@ -45,9 +53,22 @@ class Deque {
     buffer_[static_cast<std::size_t>(b) & kMask].store(
         frame, std::memory_order_relaxed);
     bottom_.store(b + 1, std::memory_order_release);
-    // notify_one() internally fences so the bottom store above is ordered
-    // before the waiter check (see parking.hpp).
-    if (gate_ != nullptr) *wake_counter_ += gate_->notify_one();
+    if (lot_ != nullptr) {
+      // Batched wake-up: one isolated push wakes at most one sleeper (the
+      // 1:1 discipline), but when pushes outrun thieves — b+1-t stealable
+      // entries are outstanding, a fan-out burst — wake up to wake_batch
+      // nearest sleepers at once to cut the serial wake latency chain.
+      // wake() internally fences so the bottom store above is ordered
+      // before the sleeper check (see parking.hpp).
+      const std::int64_t outstanding = b + 1 - t;
+      unsigned want = wake_batch_;
+      if (outstanding < static_cast<std::int64_t>(want)) {
+        want = outstanding < 1 ? 1u : static_cast<unsigned>(outstanding);
+      }
+      const std::uint32_t woken = lot_->wake(want, wake_tier_of_);
+      *wake_counter_ += woken;
+      if (woken > 1) *batch_counter_ += woken - 1;
+    }
   }
 
   /// Owner only: pop the bottom entry unconditionally (scheduler self-steal
@@ -121,8 +142,11 @@ class Deque {
 
   alignas(kCacheLineSize) std::atomic<std::int64_t> top_{0};
   alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_{0};
-  EventCount* gate_ = nullptr;          // owner-written at attach, then const
+  ParkingLot* lot_ = nullptr;           // owner-written at attach, then const
+  const std::uint8_t* wake_tier_of_ = nullptr;
+  unsigned wake_batch_ = 1;
   std::uint64_t* wake_counter_ = nullptr;
+  std::uint64_t* batch_counter_ = nullptr;
   alignas(kCacheLineSize) std::atomic<SpawnFrame*> buffer_[kCapacity]{};
 };
 

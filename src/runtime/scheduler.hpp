@@ -5,6 +5,11 @@
 // runs instead of spinning, so repeated runs pay a wake-up — not thread
 // creation and TLMM-region TLS rebuild — per invocation. Workers also
 // persist logically, keeping reducer slot offsets and pools warm.
+//
+// Placement and steal locality come from the topo/ subsystem: every worker
+// is assigned a CPU (pinned there when SchedulerOptions::pin is set), steal
+// victims are probed in proximity order (same core → same package → remote)
+// with a randomized escape hatch, and pushes wake the nearest sleepers.
 #pragma once
 
 #include <atomic>
@@ -19,12 +24,33 @@
 
 #include "runtime/parking.hpp"
 #include "runtime/worker.hpp"
+#include "topo/placement.hpp"
 
 namespace cilkm::rt {
 
+/// Topology-facing knobs of a worker pool. The defaults (spread placement,
+/// locality-ordered stealing, wake batches of 2, no pinning) are what
+/// cilkm_run and the benches measure as the baseline configuration.
+struct SchedulerOptions {
+  /// Pin each worker thread to its assigned CPU (best-effort: a failed
+  /// sched_setaffinity leaves the thread unpinned).
+  bool pin = false;
+
+  /// How worker ids map onto the machine's CPUs (see topo/placement.hpp).
+  topo::Placement placement = topo::Placement::kSpread;
+
+  /// Max sleepers one Deque::push may wake when the deque is backing up.
+  /// 1 restores the strict one-wake-per-push discipline; values are
+  /// clamped to [1, ParkingLot::kMaxBatch] at Scheduler construction.
+  unsigned wake_batch = 2;
+
+  /// Probe steal victims in proximity order instead of uniformly at random.
+  bool locality_steal = true;
+};
+
 class Scheduler {
  public:
-  explicit Scheduler(unsigned num_workers);
+  explicit Scheduler(unsigned num_workers, SchedulerOptions options = {});
 
   /// Parks the pool, joins the worker threads. Must not be called while a
   /// run is in flight (run() does not return until quiescence, so ordinary
@@ -49,6 +75,40 @@ class Scheduler {
   }
   Worker& worker(unsigned i) noexcept { return *workers_[i]; }
 
+  const SchedulerOptions& options() const noexcept { return options_; }
+
+  /// The logical CPU worker `w` is assigned (and pinned to, under
+  /// options().pin).
+  unsigned worker_cpu(unsigned w) const noexcept { return worker_cpu_[w]; }
+
+  /// Worker `thief`'s victims in proximity order (nearest first): a
+  /// permutation of every other worker id. Stable after construction; the
+  /// per-round sequence additionally shuffles within proximity tiers.
+  const std::vector<unsigned>& victim_order(unsigned thief) const noexcept {
+    return victim_order_[thief];
+  }
+
+  /// Proximity tier of `victim` as seen from `thief` (0 = same core,
+  /// 1 = same package, 2 = remote), the rank used by steals and wake-ups.
+  std::uint8_t victim_tier(unsigned thief, unsigned victim) const noexcept {
+    return victim_tier_[thief][victim];
+  }
+
+  /// Most victims probed per steal round: bounds the latency of the idle
+  /// loop's done-flag re-check on wide pools, and bounds the shuffle work
+  /// per round (only this prefix of the victim sequence is randomized).
+  static constexpr unsigned kMaxStealProbes = 16;
+
+  /// Build one steal round for `thief` into `out`: every other worker
+  /// exactly once (no victim is probed twice in a round), nearest tiers
+  /// first under locality stealing (shuffled within each tier, with a
+  /// randomized escape hatch for whole-machine balance), a uniform shuffle
+  /// otherwise. Only the first kMaxStealProbes entries — all a round ever
+  /// probes — are randomized; the tail keeps tier order. Uses the thief
+  /// worker's private rng, so callers other than the thief itself may only
+  /// call this on a quiesced pool.
+  void build_victim_round(unsigned thief, std::vector<unsigned>* out);
+
   /// Sum of all workers' counters. Counters accumulate across run() calls
   /// on the same pool; call reset_stats() between runs for per-run numbers.
   WorkerStats aggregate_stats() const;
@@ -64,14 +124,20 @@ class Scheduler {
 
   void start_threads_locked();
   void worker_thread(Worker* w);
-  Worker* random_victim(Worker* thief);
 
   /// True iff any worker's deque holds a stealable frame. Used by the park
   /// protocol's post-registration re-check.
   bool work_available() const noexcept;
 
+  SchedulerOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  // Topology-derived placement (worker id → logical CPU) and proximity
+  // structure, fixed at construction.
+  std::vector<unsigned> worker_cpu_;
+  std::vector<std::vector<unsigned>> victim_order_;      // per thief
+  std::vector<std::vector<std::uint8_t>> victim_tier_;   // [thief][victim]
 
   std::atomic<bool> done_{false};
   std::function<void()> root_fn_;
@@ -79,7 +145,7 @@ class Scheduler {
 
   // Mid-run idle parking (see parking.hpp). Producers: Deque::push, the
   // root-completion path in fiber_main.
-  EventCount idle_gate_;
+  ParkingLot parking_;
 
   // Pool lifecycle. All fields below are guarded by lifecycle_mu_; workers
   // sleep on start_cv_ between runs, run() sleeps on quiesce_cv_ until every

@@ -6,6 +6,7 @@
 #include "runtime/sanitizer.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
+#include "topo/topology.hpp"
 #include "util/assert.hpp"
 
 namespace cilkm::rt {
@@ -61,10 +62,9 @@ void fiber_main(void* arg) {
     w2->current_fiber_ = nullptr;
     Tracer::instance().record(w2->id(), TraceEvent::kRootDone, nullptr);
     w2->scheduler()->done_.store(true, std::memory_order_release);
-    // Idle workers may be parked on the gate; they must all observe the done
+    // Idle workers may be parked on the lot; they must all observe the done
     // flag to quiesce the run.
-    w2->stats_[StatCounter::kWakes] +=
-        w2->scheduler()->idle_gate_.notify_all();
+    w2->stats_[StatCounter::kWakes] += w2->scheduler()->parking_.wake_all();
     tsan::switch_to(w2->sched_tsan_);
     cilkm_ctx_switch(&self->ctx, &w2->sched_ctx_);
     __builtin_unreachable();
@@ -152,40 +152,55 @@ void Worker::join_slow(SpawnFrame* frame) {
 SpawnFrame* Worker::try_steal_round() {
   const unsigned n = sched_->num_workers();
   if (n <= 1) return nullptr;
-  // A couple of tours over randomly-chosen victims, capped so wide
-  // oversubscribed pools still re-check the done flag promptly.
-  const unsigned attempts = std::min(2 * (n - 1), 16u);
-  for (unsigned a = 0; a < attempts; ++a) {
-    Worker* victim = sched_->random_victim(this);
+  // One deduplicated tour: every other worker probed at most once, nearest
+  // proximity tiers first (shuffled within tiers; see build_victim_round).
+  // Capped so wide oversubscribed pools still re-check the done flag
+  // promptly.
+  sched_->build_victim_round(id_, &round_);
+  const auto attempts =
+      std::min<std::size_t>(round_.size(), Scheduler::kMaxStealProbes);
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const unsigned victim_id = round_[a];
     ++stats_[StatCounter::kStealAttempts];
-    SpawnFrame* frame = victim->deque_.steal();
-    if (frame != nullptr) return frame;
+    SpawnFrame* frame = sched_->workers_[victim_id]->deque_.steal();
+    if (frame != nullptr) {
+      // Tier 0/1 (same core or package) is a cache-near theft; tier 2
+      // crossed a package or NUMA boundary.
+      const bool local = sched_->victim_tier(id_, victim_id) <
+                         static_cast<std::uint8_t>(
+                             topo::Topology::Proximity::kRemote);
+      ++stats_[local ? StatCounter::kLocalSteals : StatCounter::kRemoteSteals];
+      return frame;
+    }
     cpu_relax();
   }
   return nullptr;
 }
 
 void Worker::park_idle(unsigned episode_parks) {
-  EventCount& gate = sched_->idle_gate_;
-  const std::uint32_t ticket = gate.prepare_wait();
-  // Registered as a waiter — re-check everything a producer could have
+  ParkingLot& lot = sched_->parking_;
+  const std::uint32_t ticket = lot.prepare_park(id_);
+  // Registered as a sleeper — re-check everything a producer could have
   // published before it saw us: the done flag and every deque. Publications
-  // after this point are guaranteed to observe the registration and notify.
+  // after this point are guaranteed to observe the registration and wake.
   if (sched_->done_.load(std::memory_order_acquire) ||
       sched_->work_available()) {
-    gate.cancel_wait();
+    // A producer may have targeted us already; cancel forwards its wake
+    // credit to the next sleeper, and those forwards count as wake-ups we
+    // delivered.
+    stats_[StatCounter::kWakes] += lot.cancel_park(id_);
     return;
   }
   // kParks counts idle EPISODES, not poll cycles: re-parking after a
   // backstop expiry (episode_parks > 1) is the same episode.
   if (episode_parks == 1) ++stats_[StatCounter::kParks];
   // The backstop bounds the damage of any missed wake-up; in correct
-  // operation only a notify ends the wait. It escalates exponentially
+  // operation only a wake ends the wait. It escalates exponentially
   // (2ms → 64ms) across one episode so long-idle workers converge to a
   // handful of spurious wake-ups per second instead of a 500 Hz poll.
   const auto backstop =
       std::chrono::milliseconds(2L << std::min(episode_parks - 1, 5u));
-  gate.wait(ticket, backstop);
+  lot.park(id_, ticket, backstop);
 }
 
 void Worker::scheduler_loop() {

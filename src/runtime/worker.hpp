@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "runtime/deque.hpp"
 #include "runtime/frame.hpp"
@@ -61,8 +62,11 @@ class Worker {
   void launch(SpawnFrame* frame_or_null_root);
   void drain_pending();
 
-  /// One steal round: several randomly-chosen victims with pause backoff
-  /// between attempts. Every attempt (hit or miss) bumps kStealAttempts.
+  /// One steal round: a deduplicated tour over the other workers — in
+  /// proximity order under locality stealing (Scheduler::build_victim_round)
+  /// — with pause backoff between attempts. Every attempt (hit or miss)
+  /// bumps kStealAttempts; a hit is classified into kLocalSteals or
+  /// kRemoteSteals by the victim's proximity tier.
   SpawnFrame* try_steal_round();
 
   /// Two-phase park on the scheduler's idle gate: register, re-check (done
@@ -82,6 +86,7 @@ class Worker {
   Scheduler* sched_;
   Xoshiro256 rng_;
   WorkerStats stats_;
+  std::vector<unsigned> round_;  // scratch victim sequence, reused per round
 
   views::ViewStoreSet views_{&stats_};
 

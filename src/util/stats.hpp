@@ -22,11 +22,14 @@ enum class StatCounter : unsigned {
   kViewsTransferred, ///< number of view pointers copied private -> public
   kHypermerges,      ///< number of deposit-merge operations
   kSteals,           ///< genuine thefts from another worker's deque
+  kLocalSteals,      ///< thefts from a same-core / same-package victim
+  kRemoteSteals,     ///< thefts from a cross-package (or cross-node) victim
   kSelfPops,         ///< frames promoted from the worker's own deque
   kStealAttempts,    ///< steal() attempts on victims, successful or not
   kJoiningSteals,    ///< joins resumed by the non-owning worker
   kParks,            ///< idle episodes in which the worker blocked (parked)
   kWakes,            ///< wake-ups this worker's pushes/completions delivered
+  kBatchWakes,       ///< extra sleepers (beyond the first) woken per push batch
   kFibersAllocated,  ///< fiber stacks allocated (cactus-stack pressure)
   kCount
 };
@@ -41,11 +44,14 @@ constexpr std::string_view to_string(StatCounter c) noexcept {
     case StatCounter::kViewsTransferred: return "views_transferred";
     case StatCounter::kHypermerges: return "hypermerges";
     case StatCounter::kSteals: return "steals";
+    case StatCounter::kLocalSteals: return "local_steals";
+    case StatCounter::kRemoteSteals: return "remote_steals";
     case StatCounter::kSelfPops: return "self_pops";
     case StatCounter::kStealAttempts: return "steal_attempts";
     case StatCounter::kJoiningSteals: return "joining_steals";
     case StatCounter::kParks: return "parks";
     case StatCounter::kWakes: return "wakes";
+    case StatCounter::kBatchWakes: return "batch_wakes";
     case StatCounter::kFibersAllocated: return "fibers_allocated";
     case StatCounter::kCount: break;
   }

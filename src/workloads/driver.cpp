@@ -11,6 +11,7 @@
 
 #include "bench/harness.hpp"
 #include "runtime/scheduler.hpp"
+#include "topo/placement.hpp"
 
 namespace cilkm::workloads {
 
@@ -19,11 +20,16 @@ namespace {
 constexpr const char* kUsage =
     "usage: cilkm_run [--list] [--workload NAME|all]... [--policy mm|hypermap|flat|all]...\n"
     "                 [--workers N[,N...]] [--scale S] [--seed X] [--reps R]\n"
-    "                 [--figure NAME|none]\n"
+    "                 [--figure NAME|none] [--pin] [--placement spread|compact]\n"
+    "                 [--wake-batch K] [--steal locality|uniform]\n"
     "\n"
     "Runs registered workload cells (workload x policy x workers); every cell\n"
     "verifies itself against a serial reference. Exits nonzero if any cell\n"
-    "fails verification. Writes BENCH_<figure>.json unless --figure none.\n";
+    "fails verification. Writes BENCH_<figure>.json unless --figure none.\n"
+    "\n"
+    "Topology: --pin binds each worker to its assigned CPU, --placement picks\n"
+    "the worker->CPU map, --wake-batch caps sleepers woken per push (1..16),\n"
+    "--steal selects proximity-ordered or uniform victim selection.\n";
 
 using bench::parse_long_strict;
 
@@ -121,6 +127,40 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
       if (!need_value(i)) return false;
       const std::string name = argv[++i];
       out->figure = name == "none" ? std::string{} : name;
+    } else if (std::strcmp(arg, "--pin") == 0) {
+      out->sched.pin = true;
+    } else if (std::strcmp(arg, "--placement") == 0) {
+      if (!need_value(i)) return false;
+      if (!topo::parse_placement(argv[++i], &out->sched.placement)) {
+        std::fprintf(stderr,
+                     "bad --placement '%s' (want spread or compact)\n%s",
+                     argv[i], kUsage);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--wake-batch") == 0) {
+      if (!need_value(i)) return false;
+      long v = 0;
+      if (!parse_long_strict(argv[++i], &v) || v < 1 ||
+          v > static_cast<long>(rt::ParkingLot::kMaxBatch)) {
+        std::fprintf(stderr,
+                     "bad --wake-batch '%s' (want an integer in 1..%u)\n%s",
+                     argv[i], rt::ParkingLot::kMaxBatch, kUsage);
+        return false;
+      }
+      out->sched.wake_batch = static_cast<unsigned>(v);
+    } else if (std::strcmp(arg, "--steal") == 0) {
+      if (!need_value(i)) return false;
+      const std::string mode = argv[++i];
+      if (mode == "locality") {
+        out->sched.locality_steal = true;
+      } else if (mode == "uniform") {
+        out->sched.locality_steal = false;
+      } else {
+        std::fprintf(stderr,
+                     "bad --steal '%s' (want locality or uniform)\n%s",
+                     mode.c_str(), kUsage);
+        return false;
+      }
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::fputs(kUsage, stdout);
       out->help = true;
@@ -179,7 +219,7 @@ int run_matrix(const DriverOptions& opts) {
   std::map<unsigned, std::unique_ptr<rt::Scheduler>> pools;
   for (const unsigned p : workers) {
     auto& pool = pools[p];
-    if (pool == nullptr) pool = std::make_unique<rt::Scheduler>(p);
+    if (pool == nullptr) pool = std::make_unique<rt::Scheduler>(p, opts.sched);
   }
 
   std::printf("%-12s %-9s %3s %6s %12s %12s  %s\n", "workload", "policy", "P",

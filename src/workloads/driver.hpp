@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/scheduler.hpp"
 #include "workloads/workload.hpp"
 
 namespace cilkm::workloads {
@@ -23,6 +24,9 @@ struct DriverOptions {
   bool list_only = false;
   bool help = false;           // --help: print usage and exit successfully
   std::string figure = "workloads";  // BENCH_<figure>.json; empty = no JSON
+  /// Topology knobs for the persistent pools run_matrix builds: --pin,
+  /// --placement, --wake-batch, --steal.
+  rt::SchedulerOptions sched;
 };
 
 /// {1, 2, hardware_concurrency}, deduplicated and sorted.

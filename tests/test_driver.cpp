@@ -96,6 +96,55 @@ TEST(DriverCli, RejectsNegativeSeed) {
   EXPECT_FALSE(parse({"--seed", "-1"}, &opts));
 }
 
+TEST(DriverCli, TopologyFlagsParse) {
+  DriverOptions opts;
+  ASSERT_TRUE(parse({"--pin", "--placement", "compact", "--wake-batch", "4",
+                     "--steal", "uniform"},
+                    &opts));
+  EXPECT_TRUE(opts.sched.pin);
+  EXPECT_EQ(opts.sched.placement, cilkm::topo::Placement::kCompact);
+  EXPECT_EQ(opts.sched.wake_batch, 4u);
+  EXPECT_FALSE(opts.sched.locality_steal);
+
+  // Defaults: locality stealing and batched wakes on, no pinning.
+  DriverOptions defaults;
+  ASSERT_TRUE(parse({}, &defaults));
+  EXPECT_FALSE(defaults.sched.pin);
+  EXPECT_EQ(defaults.sched.placement, cilkm::topo::Placement::kSpread);
+  EXPECT_TRUE(defaults.sched.locality_steal);
+  EXPECT_GE(defaults.sched.wake_batch, 2u);
+}
+
+TEST(DriverCli, TopologyFlagsRejectGarbage) {
+  DriverOptions opts;
+  EXPECT_FALSE(parse({"--placement", "scatter"}, &opts));
+  DriverOptions opts2;
+  EXPECT_FALSE(parse({"--placement"}, &opts2));  // trailing, no value
+  DriverOptions opts3;
+  EXPECT_FALSE(parse({"--wake-batch", "0"}, &opts3));
+  DriverOptions opts4;
+  EXPECT_FALSE(parse({"--wake-batch", "-2"}, &opts4));
+  DriverOptions opts5;
+  EXPECT_FALSE(parse({"--wake-batch", "3x"}, &opts5));
+  DriverOptions opts5b;
+  EXPECT_FALSE(parse({"--wake-batch", "17"}, &opts5b));  // above kMaxBatch
+  DriverOptions opts6;
+  EXPECT_FALSE(parse({"--steal", "sometimes"}, &opts6));
+  DriverOptions opts7;
+  EXPECT_FALSE(parse({"--wake-batch"}, &opts7));
+  DriverOptions opts8;
+  EXPECT_FALSE(parse({"--steal"}, &opts8));
+}
+
+TEST(DriverCli, PinnedRestrictedMatrixRunsClean) {
+  // The taskset-restricted CI job's configuration in miniature: pinning plus
+  // locality stealing on whatever (possibly 1-CPU) mask this process has.
+  DriverOptions opts = small_matrix();
+  opts.sched.pin = true;
+  opts.figure.clear();
+  EXPECT_EQ(run_matrix(opts), 0);
+}
+
 TEST(DriverCli, RejectsTrailingFlagWithNoValue) {
   DriverOptions opts;
   EXPECT_FALSE(parse({"--workers"}, &opts));

@@ -3,12 +3,16 @@
 // hardware_concurrency}, each cell self-verifying against its serial
 // reference. The parameter list is generated from the workload registry, so
 // registering a new workload automatically grows this sweep (and CTest,
-// via gtest_discover_tests).
+// via gtest_discover_tests). Cells run on one shared persistent Scheduler
+// per worker count (see shared_pool), mirroring cilkm_run's pool reuse.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "runtime/scheduler.hpp"
 #include "test_support.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/workload.hpp"
@@ -45,6 +49,19 @@ std::vector<Cell> matrix() {
   return cells;
 }
 
+/// One persistent Scheduler per worker count, shared by every cell in this
+/// process — the same pool-reuse discipline cilkm_run's run_matrix uses, so
+/// the sweep exercises warm workers instead of rebuilding a thread pool per
+/// cell. Intentionally leaked: the pools must outlive every test, and a
+/// static destructor joining threads during process teardown buys nothing.
+cilkm::rt::Scheduler* shared_pool(unsigned workers) {
+  static auto* pools =
+      new std::map<unsigned, std::unique_ptr<cilkm::rt::Scheduler>>;
+  auto& pool = (*pools)[workers];
+  if (pool == nullptr) pool = std::make_unique<cilkm::rt::Scheduler>(workers);
+  return pool.get();
+}
+
 class WorkloadMatrix : public ::testing::TestWithParam<Cell> {};
 
 TEST_P(WorkloadMatrix, CellVerifiesAgainstSerialReference) {
@@ -54,6 +71,7 @@ TEST_P(WorkloadMatrix, CellVerifiesAgainstSerialReference) {
   cfg.workers = cell.workers;
   cfg.scale = 1;
   cfg.seed = cilkm::test::base_seed();
+  cfg.scheduler = shared_pool(cell.workers);
   const RunResult result = cell.workload->run_policy(cell.policy, cfg);
   EXPECT_TRUE(result.verified)
       << cell.workload->name << " under "

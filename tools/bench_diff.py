@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare two cilkm-bench-v1 BENCH_*.json files and flag regressions.
+
+Rows are joined on (series, x); for each joined row the chosen metric
+(median_s by default) is compared, and the exit status reports whether any
+row regressed past the threshold:
+
+    bench_diff.py baseline.json current.json [--metric median_s]
+                  [--threshold 0.25] [--min-abs 1e-4]
+
+Exit status: 0 = no regression, 1 = at least one row regressed,
+2 = usage / malformed input. Rows present on only one side are reported but
+never fail the diff (workloads and series come and go across PRs), and rows
+whose baseline is below --min-abs seconds are skipped as noise (sub-0.1 ms
+medians on shared CI runners are timer jitter, not signal).
+
+The CI bench-smoke job runs this against the previous successful run's
+uploaded artifact, so every PR gets a perf-trajectory gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """-> {(series, x): {metric: value}} from one cilkm-bench-v1 file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        raise SystemExit(2)
+    if doc.get("schema") != "cilkm-bench-v1":
+        print(
+            f"bench_diff: {path}: unexpected schema {doc.get('schema')!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = (row.get("series"), row.get("x"))
+        rows[key] = row.get("metrics", {}) or {}
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff medians between two BENCH_*.json files."
+    )
+    parser.add_argument("baseline", help="previous run's BENCH_*.json")
+    parser.add_argument("current", help="this run's BENCH_*.json")
+    parser.add_argument(
+        "--metric",
+        default="median_s",
+        help="metric key to compare (default: median_s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative regression that fails the diff (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--min-abs",
+        type=float,
+        default=1e-4,
+        help="skip rows whose baseline metric is below this (timer noise)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+
+    base = load_rows(args.baseline)
+    curr = load_rows(args.current)
+
+    regressions = 0
+    compared = 0
+    for key in sorted(base.keys() | curr.keys(), key=str):
+        series, x = key
+        label = f"{series} @ x={x}"
+        if key not in base:
+            print(f"  NEW    {label}")
+            continue
+        if key not in curr:
+            print(f"  GONE   {label}")
+            continue
+        b = base[key].get(args.metric)
+        c = curr[key].get(args.metric)
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue  # metric absent on one side (e.g. the machine row)
+        if b < args.min_abs:
+            print(f"  SKIP   {label}: baseline {b:.6g} below --min-abs")
+            continue
+        compared += 1
+        delta = (c - b) / b
+        verdict = "ok"
+        if delta > args.threshold:
+            verdict = "REGRESSED"
+            regressions += 1
+        print(
+            f"  {verdict:<10}{label}: {args.metric} "
+            f"{b:.6g} -> {c:.6g} ({delta:+.1%})"
+        )
+
+    print(
+        f"bench_diff: {compared} row(s) compared, {regressions} regression(s) "
+        f"past +{args.threshold:.0%}"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
