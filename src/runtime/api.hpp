@@ -136,6 +136,7 @@ class SpawnGroup {
 
 /// Convenience re-exports.
 using rt::Scheduler;
+using rt::SchedulerOptions;
 inline void run(unsigned num_workers, std::function<void()> root) {
   rt::run(num_workers, std::move(root));
 }

@@ -17,6 +17,9 @@ Scheduler::Scheduler(unsigned num_workers, SchedulerOptions options)
   if (options_.wake_batch > ParkingLot::kMaxBatch) {
     options_.wake_batch = ParkingLot::kMaxBatch;
   }
+  if (options_.steal_batch > Deque::kMaxStealBatch) {
+    options_.steal_batch = Deque::kMaxStealBatch;  // 0 ("half") passes through
+  }
   workers_.reserve(num_workers);
   for (unsigned i = 0; i < num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(this, i));

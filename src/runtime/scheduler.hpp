@@ -46,6 +46,12 @@ struct SchedulerOptions {
 
   /// Probe steal victims in proximity order instead of uniformly at random.
   bool locality_steal = true;
+
+  /// Max frames one theft may claim from a victim's deque. 0 means "half":
+  /// a theft takes ceil(available/2), capped at Deque::kMaxStealBatch.
+  /// 1 restores classic single-frame Chase–Lev stealing; other values are
+  /// clamped to [1, Deque::kMaxStealBatch] at Scheduler construction.
+  unsigned steal_batch = 0;
 };
 
 class Scheduler {

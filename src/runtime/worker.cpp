@@ -8,12 +8,18 @@
 #include "runtime/trace.hpp"
 #include "topo/topology.hpp"
 #include "util/assert.hpp"
+#include "util/timing.hpp"
 
 namespace cilkm::rt {
 
 thread_local Worker* tls_worker = nullptr;
 
-Worker::Worker(Scheduler* sched, unsigned id) : id_(id), sched_(sched) {}
+Worker::Worker(Scheduler* sched, unsigned id) : id_(id), sched_(sched) {
+  // 0 = "half": take ceil(avail/2) up to the deque's transaction cap.
+  const unsigned batch = sched->options().steal_batch;
+  steal_batch_limit_ =
+      batch == 0 ? Deque::kMaxStealBatch : std::min(batch, Deque::kMaxStealBatch);
+}
 
 Worker::~Worker() = default;
 
@@ -156,21 +162,38 @@ SpawnFrame* Worker::try_steal_round() {
   // proximity tiers first (shuffled within tiers; see build_victim_round).
   // Capped so wide oversubscribed pools still re-check the done flag
   // promptly.
+  const std::uint64_t round_start = now_ns();
   sched_->build_victim_round(id_, &round_);
   const auto attempts =
       std::min<std::size_t>(round_.size(), Scheduler::kMaxStealProbes);
   for (std::size_t a = 0; a < attempts; ++a) {
     const unsigned victim_id = round_[a];
     ++stats_[StatCounter::kStealAttempts];
-    SpawnFrame* frame = sched_->workers_[victim_id]->deque_.steal();
-    if (frame != nullptr) {
+    const unsigned got = sched_->workers_[victim_id]->deque_.steal_batch(
+        steal_buf_, steal_batch_limit_);
+    if (got > 0) {
       // Tier 0/1 (same core or package) is a cache-near theft; tier 2
       // crossed a package or NUMA boundary.
-      const bool local = sched_->victim_tier(id_, victim_id) <
-                         static_cast<std::uint8_t>(
-                             topo::Topology::Proximity::kRemote);
+      const std::uint8_t tier = sched_->victim_tier(id_, victim_id);
+      const bool local = tier < static_cast<std::uint8_t>(
+                                    topo::Topology::Proximity::kRemote);
       ++stats_[local ? StatCounter::kLocalSteals : StatCounter::kRemoteSteals];
-      return frame;
+      stats_[StatCounter::kStolenFrames] += got;
+      stats_.record_steal(tier, now_ns() - round_start);
+      if (got > 1) {
+        // Steal-half tail: our deque is empty (we only steal when it is),
+        // so a bulk push of the younger frames oldest-first preserves the
+        // depth order thieves and our own pops rely on. The push is
+        // wake-suppressed; instead ONE ParkingLot call wakes up to got-1
+        // nearest sleepers to fan the new work out without got-1 serial
+        // wake chains.
+        deque_.push_bulk(steal_buf_ + 1, got - 1);
+        const std::uint32_t woken =
+            sched_->parking_.wake(got - 1, sched_->victim_tier_[id_].data());
+        stats_[StatCounter::kWakes] += woken;
+        if (woken > 1) stats_[StatCounter::kBatchWakes] += woken - 1;
+      }
+      return steal_buf_[0];  // promote the oldest stolen frame
     }
     cpu_relax();
   }

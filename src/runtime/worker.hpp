@@ -18,7 +18,12 @@ namespace cilkm::rt {
 
 class Scheduler;
 
-class Worker {
+/// 1024-byte alignment (cf. the OpenCilk __cilkrts_worker layout): adjacent
+/// Worker objects never share a cache line OR an adjacent-line prefetch
+/// pair, so hardware prefetchers on one worker's hot line cannot induce
+/// false sharing with its neighbour. Workers are heap-allocated (C++17
+/// aligned operator new honours this).
+class alignas(1024) Worker {
  public:
   Worker(Scheduler* sched, unsigned id);
   ~Worker();
@@ -82,14 +87,10 @@ class Worker {
   void merge_left(ViewSetDeposit* in);
   void merge_right(ViewSetDeposit* in);
 
+  // Hot/cold member layout (see README "Steal path"). First line: identity
+  // and the fiber-switch state touched on every launch/park/resume.
   unsigned id_;
   Scheduler* sched_;
-  Xoshiro256 rng_;
-  WorkerStats stats_;
-  std::vector<unsigned> round_;  // scratch victim sequence, reused per round
-
-  views::ViewStoreSet views_{&stats_};
-
   Context sched_ctx_;
   void* sched_tsan_ = nullptr;  // TSan state of the scheduler-loop stack
   Fiber* current_fiber_ = nullptr;
@@ -97,8 +98,28 @@ class Worker {
   SpawnFrame* pending_park_ = nullptr;
   SpawnFrame* launch_frame_ = nullptr;
 
+  // Steal-side state, on its own line(s): touched only while idle-stealing,
+  // so steal rounds don't bounce the fiber-switch line above.
+  alignas(kCacheLineSize) Xoshiro256 rng_;
+  std::vector<unsigned> round_;  // scratch victim sequence, reused per round
+  unsigned steal_batch_limit_;   // per-theft frame cap (from SchedulerOptions)
+  SpawnFrame* steal_buf_[Deque::kMaxStealBatch];  // steal_batch scratch
+
+  // Stats on their own line: bumped from both the owner path (self-pops,
+  // view work) and the steal path, but never by other threads.
+  alignas(kCacheLineSize) WorkerStats stats_;
+
+  views::ViewStoreSet views_{&stats_};
+
   Deque deque_;  // large (512 KiB); Worker objects are heap-allocated
+
+  static_assert(alignof(Deque) == kCacheLineSize,
+                "deque hot lines rely on cache-line alignment");
 };
+
+static_assert(alignof(Worker) == 1024,
+              "Worker must be 1024-byte aligned against prefetcher-induced "
+              "false sharing (cf. the __cilkrts_worker exemplar)");
 
 /// TLS pointer to the calling thread's worker.
 extern thread_local Worker* tls_worker;

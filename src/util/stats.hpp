@@ -22,6 +22,7 @@ enum class StatCounter : unsigned {
   kViewsTransferred, ///< number of view pointers copied private -> public
   kHypermerges,      ///< number of deposit-merge operations
   kSteals,           ///< genuine thefts from another worker's deque
+  kStolenFrames,     ///< frames acquired by thefts (≥ kSteals under steal-half)
   kLocalSteals,      ///< thefts from a same-core / same-package victim
   kRemoteSteals,     ///< thefts from a cross-package (or cross-node) victim
   kSelfPops,         ///< frames promoted from the worker's own deque
@@ -44,6 +45,7 @@ constexpr std::string_view to_string(StatCounter c) noexcept {
     case StatCounter::kViewsTransferred: return "views_transferred";
     case StatCounter::kHypermerges: return "hypermerges";
     case StatCounter::kSteals: return "steals";
+    case StatCounter::kStolenFrames: return "stolen_frames";
     case StatCounter::kLocalSteals: return "local_steals";
     case StatCounter::kRemoteSteals: return "remote_steals";
     case StatCounter::kSelfPops: return "self_pops";
@@ -62,8 +64,22 @@ constexpr std::string_view to_string(StatCounter c) noexcept {
 /// block is written by exactly one worker thread and read only after the
 /// scheduler quiesces.
 struct WorkerStats {
+  /// Proximity tiers a steal-latency sample can be attributed to; mirrors
+  /// the scheduler's victim tiers (same-core / same-package / remote).
+  static constexpr std::size_t kStealTiers = 3;
+  /// Log2 histogram buckets at 128 ns granularity: bucket 0 is < 256 ns,
+  /// each next bucket doubles, bucket 7 collects everything ≥ ~8.2 µs.
+  static constexpr std::size_t kStealLatBuckets = 8;
+
   std::array<std::uint64_t, static_cast<std::size_t>(StatCounter::kCount)>
       counters{};
+
+  /// Per-tier latency of successful steal rounds (round start → theft):
+  /// sample counts per log2 bucket, plus total ns and sample count for
+  /// computing means in reports.
+  std::uint64_t steal_lat_hist[kStealTiers][kStealLatBuckets]{};
+  std::uint64_t steal_lat_ns[kStealTiers]{};
+  std::uint64_t steal_lat_count[kStealTiers]{};
 
   std::uint64_t& operator[](StatCounter c) noexcept {
     return counters[static_cast<std::size_t>(c)];
@@ -71,11 +87,42 @@ struct WorkerStats {
   std::uint64_t operator[](StatCounter c) const noexcept {
     return counters[static_cast<std::size_t>(c)];
   }
-  void reset() noexcept { counters.fill(0); }
+
+  /// Record one successful steal round's latency, attributed to the winning
+  /// victim's proximity tier.
+  void record_steal(unsigned tier, std::uint64_t ns) noexcept {
+    if (tier >= kStealTiers) tier = kStealTiers - 1;
+    const std::uint64_t scaled = ns >> 7;  // 128 ns granularity
+    std::size_t bucket = 0;
+    while (bucket + 1 < kStealLatBuckets && (scaled >> (bucket + 1)) != 0) {
+      ++bucket;
+    }
+    ++steal_lat_hist[tier][bucket];
+    steal_lat_ns[tier] += ns;
+    ++steal_lat_count[tier];
+  }
+
+  void reset() noexcept {
+    counters.fill(0);
+    for (std::size_t t = 0; t < kStealTiers; ++t) {
+      for (std::size_t b = 0; b < kStealLatBuckets; ++b) {
+        steal_lat_hist[t][b] = 0;
+      }
+      steal_lat_ns[t] = 0;
+      steal_lat_count[t] = 0;
+    }
+  }
 
   WorkerStats& operator+=(const WorkerStats& other) noexcept {
     for (std::size_t i = 0; i < counters.size(); ++i)
       counters[i] += other.counters[i];
+    for (std::size_t t = 0; t < kStealTiers; ++t) {
+      for (std::size_t b = 0; b < kStealLatBuckets; ++b) {
+        steal_lat_hist[t][b] += other.steal_lat_hist[t][b];
+      }
+      steal_lat_ns[t] += other.steal_lat_ns[t];
+      steal_lat_count[t] += other.steal_lat_count[t];
+    }
     return *this;
   }
 };

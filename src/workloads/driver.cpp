@@ -22,6 +22,7 @@ constexpr const char* kUsage =
     "                 [--workers N[,N...]] [--scale S] [--seed X] [--reps R]\n"
     "                 [--figure NAME|none] [--pin] [--placement spread|compact]\n"
     "                 [--wake-batch K] [--steal locality|uniform]\n"
+    "                 [--steal-batch half|N]\n"
     "\n"
     "Runs registered workload cells (workload x policy x workers); every cell\n"
     "verifies itself against a serial reference. Exits nonzero if any cell\n"
@@ -29,7 +30,9 @@ constexpr const char* kUsage =
     "\n"
     "Topology: --pin binds each worker to its assigned CPU, --placement picks\n"
     "the worker->CPU map, --wake-batch caps sleepers woken per push (1..16),\n"
-    "--steal selects proximity-ordered or uniform victim selection.\n";
+    "--steal selects proximity-ordered or uniform victim selection, and\n"
+    "--steal-batch caps frames claimed per theft ('half' = ceil(avail/2),\n"
+    "the default; 1 = classic single-frame stealing; N in 1..64).\n";
 
 using bench::parse_long_strict;
 
@@ -148,6 +151,23 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
         return false;
       }
       out->sched.wake_batch = static_cast<unsigned>(v);
+    } else if (std::strcmp(arg, "--steal-batch") == 0) {
+      if (!need_value(i)) return false;
+      const std::string mode = argv[++i];
+      if (mode == "half") {
+        out->sched.steal_batch = 0;
+      } else {
+        long v = 0;
+        if (!parse_long_strict(mode.c_str(), &v) || v < 1 ||
+            v > static_cast<long>(rt::Deque::kMaxStealBatch)) {
+          std::fprintf(stderr,
+                       "bad --steal-batch '%s' (want 'half' or an integer in "
+                       "1..%u)\n%s",
+                       mode.c_str(), rt::Deque::kMaxStealBatch, kUsage);
+          return false;
+        }
+        out->sched.steal_batch = static_cast<unsigned>(v);
+      }
     } else if (std::strcmp(arg, "--steal") == 0) {
       if (!need_value(i)) return false;
       const std::string mode = argv[++i];
@@ -239,12 +259,16 @@ int run_matrix(const DriverOptions& opts) {
         // reps must not overwrite the diagnostic.
         RunResult shown;
         bool verified = true;
+        // Per-cell steal accounting: counters accumulate across reps on the
+        // shared pool, so reset here and aggregate once after the loop.
+        pools[p]->reset_stats();
         for (int rep = 0; rep < opts.reps; ++rep) {
           RunResult result = w->run_policy(policy, cfg);
           samples.push_back(result.seconds);
           if (verified) shown = std::move(result);
           verified = verified && shown.verified;
         }
+        const WorkerStats cell_stats = pools[p]->aggregate_stats();
         const bench::RunStat stat = bench::stats_of(std::move(samples));
         if (!verified) ++failures;
 
@@ -256,7 +280,18 @@ int run_matrix(const DriverOptions& opts) {
                       static_cast<double>(p),
                       {{"median_s", stat.median_s},
                        {"stddev_s", stat.stddev_s},
-                       {"verified", verified ? 1.0 : 0.0}});
+                       {"verified", verified ? 1.0 : 0.0},
+                       {"steals",
+                        static_cast<double>(cell_stats[StatCounter::kSteals])},
+                       {"stolen_frames",
+                        static_cast<double>(
+                            cell_stats[StatCounter::kStolenFrames])},
+                       {"steal_ns_t0",
+                        static_cast<double>(cell_stats.steal_lat_ns[0])},
+                       {"steal_ns_t1",
+                        static_cast<double>(cell_stats.steal_lat_ns[1])},
+                       {"steal_ns_t2",
+                        static_cast<double>(cell_stats.steal_lat_ns[2])}});
         }
       }
     }

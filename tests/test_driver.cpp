@@ -115,6 +115,37 @@ TEST(DriverCli, TopologyFlagsParse) {
   EXPECT_GE(defaults.sched.wake_batch, 2u);
 }
 
+TEST(DriverCli, StealBatchFlagParses) {
+  DriverOptions opts;
+  ASSERT_TRUE(parse({"--steal-batch", "1"}, &opts));
+  EXPECT_EQ(opts.sched.steal_batch, 1u);
+  DriverOptions opts2;
+  ASSERT_TRUE(parse({"--steal-batch", "half"}, &opts2));
+  EXPECT_EQ(opts2.sched.steal_batch, 0u);  // 0 encodes "half"
+  DriverOptions opts3;
+  ASSERT_TRUE(parse({"--steal-batch", "64"}, &opts3));
+  EXPECT_EQ(opts3.sched.steal_batch, 64u);
+  // Default: steal-half on.
+  DriverOptions defaults;
+  ASSERT_TRUE(parse({}, &defaults));
+  EXPECT_EQ(defaults.sched.steal_batch, 0u);
+}
+
+TEST(DriverCli, StealBatchFlagRejectsGarbage) {
+  DriverOptions opts;
+  EXPECT_FALSE(parse({"--steal-batch", "0"}, &opts));  // spell it "half"
+  DriverOptions opts2;
+  EXPECT_FALSE(parse({"--steal-batch", "65"}, &opts2));  // above the cap
+  DriverOptions opts3;
+  EXPECT_FALSE(parse({"--steal-batch", "-1"}, &opts3));
+  DriverOptions opts4;
+  EXPECT_FALSE(parse({"--steal-batch", "2x"}, &opts4));
+  DriverOptions opts5;
+  EXPECT_FALSE(parse({"--steal-batch", "halfish"}, &opts5));
+  DriverOptions opts6;
+  EXPECT_FALSE(parse({"--steal-batch"}, &opts6));  // trailing, no value
+}
+
 TEST(DriverCli, TopologyFlagsRejectGarbage) {
   DriverOptions opts;
   EXPECT_FALSE(parse({"--placement", "scatter"}, &opts));

@@ -167,6 +167,83 @@ TEST(SchedulerPool, GenuineTheftIsCountedWithItsAttempts) {
   EXPECT_EQ(sched.total_steals(), stats[StatCounter::kSteals]);
 }
 
+TEST(SchedulerPool, StealAccountingInvariantsHold) {
+  // Under steal-half (the default), every theft transaction acquires >= 1
+  // frame, every theft is classified into exactly one proximity bucket, and
+  // every theft contributes exactly one latency sample to its tier.
+  cilkm::Scheduler sched(4);
+  sched.reset_stats();
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<long> sum{0};
+    sched.run([&] {
+      parallel_for(0, 4000, 4, [&](std::int64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+    EXPECT_EQ(sum.load(), 3999L * 4000 / 2);
+  }
+  const auto stats = sched.aggregate_stats();
+  EXPECT_EQ(stats[StatCounter::kLocalSteals] + stats[StatCounter::kRemoteSteals],
+            stats[StatCounter::kSteals]);
+  EXPECT_GE(stats[StatCounter::kStolenFrames], stats[StatCounter::kSteals]);
+  std::uint64_t lat_samples = 0;
+  for (std::size_t t = 0; t < cilkm::WorkerStats::kStealTiers; ++t) {
+    std::uint64_t in_buckets = 0;
+    for (std::size_t b = 0; b < cilkm::WorkerStats::kStealLatBuckets; ++b) {
+      in_buckets += stats.steal_lat_hist[t][b];
+    }
+    EXPECT_EQ(in_buckets, stats.steal_lat_count[t]) << "tier " << t;
+    lat_samples += stats.steal_lat_count[t];
+  }
+  EXPECT_EQ(lat_samples, stats[StatCounter::kSteals]);
+}
+
+TEST(SchedulerPool, SingleFrameStealBatchMatchesClassicAccounting) {
+  // steal_batch = 1 restores classic Chase-Lev stealing: every theft nets
+  // exactly one frame, so the two counters must agree exactly.
+  cilkm::SchedulerOptions options;
+  options.steal_batch = 1;
+  cilkm::Scheduler sched(4, options);
+  sched.reset_stats();
+  std::atomic<bool> right_ran{false};
+  sched.run([&] {
+    cilkm::fork2join(
+        [&] {
+          while (!right_ran.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        },
+        [&] { right_ran.store(true, std::memory_order_release); });
+    parallel_for(0, 4000, 4, [](std::int64_t) {});
+  });
+  const auto stats = sched.aggregate_stats();
+  EXPECT_GE(stats[StatCounter::kSteals], 1u);
+  EXPECT_EQ(stats[StatCounter::kStolenFrames], stats[StatCounter::kSteals]);
+  EXPECT_EQ(stats[StatCounter::kLocalSteals] + stats[StatCounter::kRemoteSteals],
+            stats[StatCounter::kSteals]);
+}
+
+TEST(SchedulerPool, StealHalfForcedTheftAcquiresFrames) {
+  // The forced-steal shape from GenuineTheftIsCountedWithItsAttempts, under
+  // the default steal-half config: the theft happens, and stolen-frame
+  // accounting covers it.
+  std::atomic<bool> right_ran{false};
+  cilkm::Scheduler sched(2);
+  sched.reset_stats();
+  sched.run([&] {
+    cilkm::fork2join(
+        [&] {
+          while (!right_ran.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        },
+        [&] { right_ran.store(true, std::memory_order_release); });
+  });
+  const auto stats = sched.aggregate_stats();
+  EXPECT_GE(stats[StatCounter::kSteals], 1u);
+  EXPECT_GE(stats[StatCounter::kStolenFrames], stats[StatCounter::kSteals]);
+}
+
 TEST(SchedulerPool, ParkedWorkersWakeForNewWork) {
   // Phase 1 idles everyone long enough to park; phase 2 (same run) then
   // spawns real work, which must wake the parked workers via Deque::push and

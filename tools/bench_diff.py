@@ -14,6 +14,12 @@ never fail the diff (workloads and series come and go across PRs), and rows
 whose baseline is below --min-abs seconds are skipped as noise (sub-0.1 ms
 medians on shared CI runners are timer jitter, not signal).
 
+Benches record the host in a "machine:<describe>" row. When both files
+carry machine rows and they differ, the two runs executed on different
+hardware and a time comparison is meaningless: the diff prints the two
+descriptions, skips every comparison, and exits 0 (CI runner pools rotate
+hosts; that must not read as a regression).
+
 The CI bench-smoke job runs this against the previous successful run's
 uploaded artifact, so every PR gets a perf-trajectory gate.
 """
@@ -42,6 +48,15 @@ def load_rows(path):
         key = (row.get("series"), row.get("x"))
         rows[key] = row.get("metrics", {}) or {}
     return rows
+
+
+def machine_of(rows):
+    """The sorted 'machine:' descriptions recorded in one file's rows."""
+    return sorted(
+        series
+        for series, _x in rows
+        if isinstance(series, str) and series.startswith("machine:")
+    )
 
 
 def main(argv=None):
@@ -73,6 +88,14 @@ def main(argv=None):
 
     base = load_rows(args.baseline)
     curr = load_rows(args.current)
+
+    base_machine = machine_of(base)
+    curr_machine = machine_of(curr)
+    if base_machine and curr_machine and base_machine != curr_machine:
+        print("bench_diff: machine changed between runs; skipping comparison")
+        print(f"  baseline: {', '.join(base_machine)}")
+        print(f"  current:  {', '.join(curr_machine)}")
+        return 0
 
     regressions = 0
     compared = 0

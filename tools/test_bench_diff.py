@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py: regression detection, min-abs noise
+skipping, one-sided rows, malformed input, and the machine-change skip.
+
+Run directly (python3 tools/test_bench_diff.py) or via ctest, which
+registers it as `bench_diff_py`.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff  # noqa: E402
+
+
+def doc(rows, schema="cilkm-bench-v1"):
+    return {"schema": schema, "figure": "t", "rows": rows}
+
+
+def row(series, x, **metrics):
+    return {"series": series, "x": x, "metrics": metrics}
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+        self._n = 0
+
+    def write(self, document):
+        self._n += 1
+        path = os.path.join(self._dir.name, f"bench_{self._n}.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(document, f)
+        return path
+
+    def diff(self, base_doc, curr_doc, *extra):
+        return bench_diff.main([self.write(base_doc), self.write(curr_doc),
+                                *extra])
+
+    def test_identical_files_pass(self):
+        d = doc([row("fib/mm", 4, median_s=0.5)])
+        self.assertEqual(self.diff(d, d), 0)
+
+    def test_regression_past_threshold_fails(self):
+        base = doc([row("fib/mm", 4, median_s=0.5)])
+        curr = doc([row("fib/mm", 4, median_s=0.8)])
+        self.assertEqual(self.diff(base, curr, "--threshold", "0.25"), 1)
+
+    def test_improvement_and_small_delta_pass(self):
+        base = doc([row("fib/mm", 4, median_s=0.5)])
+        faster = doc([row("fib/mm", 4, median_s=0.3)])
+        self.assertEqual(self.diff(base, faster), 0)
+        slightly = doc([row("fib/mm", 4, median_s=0.55)])
+        self.assertEqual(self.diff(base, slightly, "--threshold", "0.25"), 0)
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        base = doc([row("fib/mm", 4, median_s=1e-6)])
+        curr = doc([row("fib/mm", 4, median_s=1e-3)])  # 1000x, but noise
+        self.assertEqual(self.diff(base, curr, "--min-abs", "1e-4"), 0)
+
+    def test_one_sided_rows_never_fail(self):
+        base = doc([row("gone/mm", 4, median_s=0.5)])
+        curr = doc([row("new/mm", 4, median_s=9.5)])
+        self.assertEqual(self.diff(base, curr), 0)
+
+    def test_bad_schema_is_usage_error(self):
+        good = doc([row("fib/mm", 4, median_s=0.5)])
+        bad = doc([], schema="not-a-bench-file")
+        with self.assertRaises(SystemExit) as ctx:
+            self.diff(good, bad)
+        self.assertEqual(ctx.exception.code, 2)
+
+    # ---- machine-row handling ----
+
+    def test_same_machine_still_compares(self):
+        machine = row("machine:8 cpus / 4 cores", 8, cores=4)
+        base = doc([machine, row("fib/mm", 4, median_s=0.5)])
+        curr = doc([machine, row("fib/mm", 4, median_s=0.8)])
+        self.assertEqual(self.diff(base, curr, "--threshold", "0.25"), 1)
+
+    def test_changed_machine_skips_comparison(self):
+        base = doc([row("machine:8 cpus / 4 cores", 8, cores=4),
+                    row("fib/mm", 4, median_s=0.5)])
+        # 10x slower on a different host: not comparable, must pass.
+        curr = doc([row("machine:2 cpus / 1 cores", 2, cores=1),
+                    row("fib/mm", 4, median_s=5.0)])
+        self.assertEqual(self.diff(base, curr, "--threshold", "0.25"), 0)
+
+    def test_machine_row_on_one_side_only_still_compares(self):
+        # Old artifacts predate machine rows; their absence must not disable
+        # the gate.
+        base = doc([row("fib/mm", 4, median_s=0.5)])
+        curr = doc([row("machine:8 cpus / 4 cores", 8, cores=4),
+                    row("fib/mm", 4, median_s=0.8)])
+        self.assertEqual(self.diff(base, curr, "--threshold", "0.25"), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
