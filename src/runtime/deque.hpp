@@ -24,7 +24,11 @@
 //   Dekker-fences that announcement against the owner's bottom_ decrement —
 //   so either the thief observes the decrement and shrinks its claim, or
 //   the owner observes exc_ > its pop index and resolves the conflict under
-//   the thief lock. Single steals (k == 1) keep the lock-free Chase–Lev
+//   the thief lock. The owner checks exc_ (acquire) before it reads top_:
+//   if it instead observes the post-commit clear, the acquire pairs with
+//   the thief's release so the owner's top_ read sees the committed CAS
+//   and takes the empty path — never a frame inside the claimed range.
+//   Single steals (k == 1) keep the lock-free Chase–Lev
 //   path unchanged: they claim only index t, which the top_ CAS itself
 //   protects.
 //
@@ -270,21 +274,31 @@ class Deque {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
-    if (t > b) {
-      // Deque was empty.
-      bottom_.store(b + 1, std::memory_order_relaxed);
-      *out = nullptr;
-      return true;
-    }
     // A batching thief may have announced a claim [*, exc_) that covers
     // index b while its top_ CAS is still in flight; popping b fence-free
     // would race it. Back out and let take_impl resolve under the lock.
-    // (A stale announcement — transaction already finished — costs one
-    // harmless lock round-trip.)
-    if (exc_.load(std::memory_order_relaxed) > b) {
+    //
+    // The check must be an ACQUIRE load and must come BEFORE the top_ load.
+    // The Dekker pair (our bottom_ store / fence / exc_ load vs the thief's
+    // exc_ store / fence / bottom_ load) guarantees that when the thief's
+    // claim could cover b we read either the announcement — back out — or
+    // the post-CAS clear; the clear is a release store sequenced after the
+    // CAS, so acquiring it forces the top_ load below to observe top_ moved
+    // past the claim and take the empty path. Loading exc_ relaxed or after
+    // top_ admits the fatal interleaving: a stale pre-CAS top_ paired with
+    // the cleared marker, both checks pass, and the frame runs twice (here
+    // and in the thief's batch). A stale announcement — transaction already
+    // finished — costs one harmless lock round-trip.
+    if (exc_.load(std::memory_order_acquire) > b) {
       bottom_.store(b + 1, std::memory_order_relaxed);
       return false;
+    }
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty (or a batch claim just committed past b).
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      *out = nullptr;
+      return true;
     }
     SpawnFrame* frame =
         buffer_[static_cast<std::size_t>(b) & kMask].load(std::memory_order_relaxed);

@@ -162,13 +162,17 @@ SpawnFrame* Worker::try_steal_round() {
   // proximity tiers first (shuffled within tiers; see build_victim_round).
   // Capped so wide oversubscribed pools still re-check the done flag
   // promptly.
-  const std::uint64_t round_start = now_ns();
   sched_->build_victim_round(id_, &round_);
   const auto attempts =
       std::min<std::size_t>(round_.size(), Scheduler::kMaxStealProbes);
   for (std::size_t a = 0; a < attempts; ++a) {
     const unsigned victim_id = round_[a];
     ++stats_[StatCounter::kStealAttempts];
+    // Timestamp per attempt, not per round: the per-tier latency sample
+    // must cover only the successful theft, or failed probes of other
+    // (possibly nearer) victims and round construction would be charged
+    // to the winning victim's tier and skew tier-vs-tier comparisons.
+    const std::uint64_t attempt_start = now_ns();
     const unsigned got = sched_->workers_[victim_id]->deque_.steal_batch(
         steal_buf_, steal_batch_limit_);
     if (got > 0) {
@@ -179,7 +183,7 @@ SpawnFrame* Worker::try_steal_round() {
                                     topo::Topology::Proximity::kRemote);
       ++stats_[local ? StatCounter::kLocalSteals : StatCounter::kRemoteSteals];
       stats_[StatCounter::kStolenFrames] += got;
-      stats_.record_steal(tier, now_ns() - round_start);
+      stats_.record_steal(tier, now_ns() - attempt_start);
       if (got > 1) {
         // Steal-half tail: our deque is empty (we only steal when it is),
         // so a bulk push of the younger frames oldest-first preserves the
