@@ -23,38 +23,62 @@ namespace cilkm {
 /// Run a() then b(), allowing b's side (with everything after it up to the
 /// join) to be stolen. Serial semantics: exactly a(); b();.
 ///
+/// Pedigree discipline (runtime/pedigree.hpp): at spawn rank r, `a` runs as
+/// the child with pedigree prefix+[r] (its own leaf rank restarts at 0),
+/// `b` runs as the continuation at rank r+1, and the strand past the join
+/// runs at r+2 — the same transitions in the serial elision and under every
+/// steal schedule, so pedigree-hashed draws are schedule-independent.
+///
 /// NOTE: the call may return on a different worker thread than it started on
 /// (the continuation migrates at a joining steal); do not cache
 /// thread-identity-dependent state across this call.
 template <typename A, typename B>
 void fork2join(A&& a, B&& b) {
   rt::Worker* w = rt::Worker::current();
+  rt::PedigreeState& ped = rt::current_pedigree();
+  const rt::PedigreeNode* const spawn_parent = ped.parent;
+  const std::uint64_t spawn_rank = ped.rank;
+  rt::PedigreeNode child_node{spawn_rank, spawn_parent};
   if (w == nullptr) {
-    // Outside the scheduler: plain serial execution.
+    // Outside the scheduler: plain serial execution (the serial elision),
+    // advancing the pedigree through the identical spawn/sync transitions.
+    ped = {&child_node, 0};
     a();
+    rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
     b();
+    rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
     return;
   }
   rt::SpawnFrameT<std::remove_reference_t<B>> frame(&b);
+  // The pedigree snapshot must be complete before the push: a thief may
+  // promote the frame (and read these fields) immediately.
+  frame.ped_parent = spawn_parent;
+  frame.ped_rank = spawn_rank;
   w->deque().push(&frame);
 
+  ped = {&child_node, 0};
   std::exception_ptr a_eptr;
   try {
     a();
   } catch (...) {
     a_eptr = std::current_exception();
   }
-  // `w` may be stale if a() itself migrated at an inner join.
+  // `w` (and the thread-local pedigree slot) may be stale if a() itself
+  // migrated at an inner join; re-fetch both.
   rt::Worker* w2 = rt::Worker::current();
   rt::SpawnFrame* popped = w2->deque().take_if(&frame);
   if (popped == &frame) {
     // Fast path: not stolen. Mirrors serial execution; no view operations.
+    rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
     if (a_eptr) std::rethrow_exception(a_eptr);
     b();
+    rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
     return;
   }
-  // Slow path: the continuation was (or is being) stolen.
+  // Slow path: the continuation was (or is being) stolen. b runs (or ran)
+  // on the thief at rank r+1 (fiber_main seats it from the frame).
   rt::Worker::join_slow(&frame);
+  rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
   if (a_eptr) std::rethrow_exception(a_eptr);
   if (frame.eptr) std::rethrow_exception(frame.eptr);
 }

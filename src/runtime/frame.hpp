@@ -10,6 +10,7 @@
 #include <exception>
 
 #include "runtime/context.hpp"
+#include "runtime/pedigree.hpp"
 #include "runtime/stack_pool.hpp"
 #include "views/view_store.hpp"
 
@@ -45,6 +46,16 @@ struct SpawnFrame {
 
   /// Exception thrown by the stolen branch, rethrown at the join.
   std::exception_ptr eptr;
+
+  /// Pedigree snapshot of the spawning strand, written by fork2join BEFORE
+  /// the frame is pushed (a thief may promote it immediately) and immutable
+  /// afterwards. Whoever runs the continuation — the spawner's own fast
+  /// path, a thief, or a self-pop — resumes it at rank ped_rank + 1 under
+  /// the ped_parent prefix; the strand past the join runs at ped_rank + 2.
+  /// The chain nodes live in ancestor fork2join stack frames, all of which
+  /// are suspended until this frame's join completes.
+  const PedigreeNode* ped_parent = nullptr;
+  std::uint64_t ped_rank = 0;
 };
 
 template <typename B>

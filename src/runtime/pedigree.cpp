@@ -1,0 +1,18 @@
+#include "runtime/pedigree.hpp"
+
+namespace cilkm::rt {
+
+namespace {
+thread_local PedigreeState tls_pedigree;
+}  // namespace
+
+// Out of line and noinline on purpose — see the declaration. An inlined
+// accessor would let the address of tls_pedigree be computed once and
+// reused after a fiber migrates to another OS thread, silently mutating
+// the departed thread's pedigree (observed as a TSan race between
+// fork2join's post-join reseat and the other thread's own spawns).
+__attribute__((noinline)) PedigreeState& current_pedigree() noexcept {
+  return tls_pedigree;
+}
+
+}  // namespace cilkm::rt

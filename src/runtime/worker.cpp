@@ -55,7 +55,9 @@ void fiber_main(void* arg) {
   w->launch_frame_ = nullptr;
 
   if (frame == nullptr) {
-    // Root task.
+    // Root task: every run() starts from the root pedigree, so pedigrees
+    // (and DPRNG streams) are reproducible per run, not per pool lifetime.
+    current_pedigree() = PedigreeState{};
     Scheduler* sched = w->scheduler();
     try {
       sched->root_fn_();
@@ -76,6 +78,11 @@ void fiber_main(void* arg) {
     __builtin_unreachable();
   }
 
+  // A promoted frame resumes the continuation strand: rank ped_rank + 1
+  // under the spawn-time prefix, exactly where the victim's fast path would
+  // have resumed it. Seating this thread-local here covers thieves AND
+  // self-pops (both launch through fiber_main).
+  current_pedigree() = {frame->ped_parent, frame->ped_rank + 1};
   try {
     frame->invoke_b(frame);
   } catch (...) {

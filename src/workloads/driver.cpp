@@ -12,6 +12,8 @@
 #include "bench/harness.hpp"
 #include "runtime/scheduler.hpp"
 #include "topo/placement.hpp"
+#include "topo/topology.hpp"
+#include "workloads/fuzzer.hpp"
 
 namespace cilkm::workloads {
 
@@ -23,10 +25,18 @@ constexpr const char* kUsage =
     "                 [--figure NAME|none] [--pin] [--placement spread|compact]\n"
     "                 [--wake-batch K] [--steal locality|uniform]\n"
     "                 [--steal-batch half|N]\n"
+    "                 [--fuzz] [--fuzz-seed X] [--fuzz-iters N]\n"
     "\n"
     "Runs registered workload cells (workload x policy x workers); every cell\n"
     "verifies itself against a serial reference. Exits nonzero if any cell\n"
     "fails verification. Writes BENCH_<figure>.json unless --figure none.\n"
+    "\n"
+    "--fuzz runs the seed-replayable scenario fuzzer instead: --fuzz-iters\n"
+    "composites (random monoid x shape x policy x workers x steal-batch) are\n"
+    "drawn from base seed --fuzz-seed and checked against their serial\n"
+    "elisions; a failure prints (and records in FUZZ_failing_seeds.txt) the\n"
+    "exact --fuzz-seed that replays it alone. --policy/--workers/--scale\n"
+    "restrict the composite space.\n"
     "\n"
     "Topology: --pin binds each worker to its assigned CPU, --placement picks\n"
     "the worker->CPU map, --wake-batch caps sleepers woken per push (1..16),\n"
@@ -168,6 +178,24 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
         }
         out->sched.steal_batch = static_cast<unsigned>(v);
       }
+    } else if (std::strcmp(arg, "--fuzz") == 0) {
+      out->fuzz = true;
+    } else if (std::strcmp(arg, "--fuzz-seed") == 0) {
+      if (!need_value(i)) return false;
+      if (!parse_u64_strict(argv[++i], &out->fuzz_seed)) {
+        std::fprintf(stderr, "bad --fuzz-seed '%s' (want an integer)\n%s",
+                     argv[i], kUsage);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--fuzz-iters") == 0) {
+      if (!need_value(i)) return false;
+      long v = 0;
+      if (!parse_long_strict(argv[++i], &v) || v < 1) {
+        std::fprintf(stderr, "bad --fuzz-iters '%s' (want an integer >= 1)\n%s",
+                     argv[i], kUsage);
+        return false;
+      }
+      out->fuzz_iters = static_cast<int>(v);
     } else if (std::strcmp(arg, "--steal") == 0) {
       if (!need_value(i)) return false;
       const std::string mode = argv[++i];
@@ -197,6 +225,15 @@ int run_matrix(const DriverOptions& opts) {
   Registry& registry = Registry::instance();
 
   if (opts.help) return 0;
+  if (opts.fuzz) {
+    FuzzOptions fuzz;
+    fuzz.seed = opts.fuzz_seed;
+    fuzz.iters = opts.fuzz_iters;
+    fuzz.scale = opts.scale;
+    fuzz.policies = opts.policies;
+    fuzz.workers = opts.workers;
+    return run_fuzz(fuzz);
+  }
   if (opts.list_only) {
     for (const Workload& w : registry.all()) {
       std::printf("%-12s %s\n", w.name.c_str(), w.summary.c_str());
@@ -232,6 +269,23 @@ int run_matrix(const DriverOptions& opts) {
   // example shims, tests).
   std::optional<bench::JsonReport> report;
   if (!opts.figure.empty()) report.emplace(opts.figure);
+
+  // Self-describing artifacts: record the effective seed on the machine row
+  // so a BENCH_*.json (or its console table) can be reproduced without the
+  // invoking command line. The seed rides as two 32-bit halves — metric
+  // values are doubles, which cannot hold a full 64-bit seed exactly — and
+  // bench_diff.py only compares the requested --metric, so the extra metrics
+  // never trip a regression diff.
+  std::printf("# seed: 0x%llx\n",
+              static_cast<unsigned long long>(opts.seed));
+  if (report.has_value()) {
+    const topo::Topology& topo = topo::Topology::machine();
+    report->add("machine:" + topo.describe(),
+                static_cast<double>(topo.num_cpus()),
+                {{"seed_hi", static_cast<double>(opts.seed >> 32)},
+                 {"seed_lo",
+                  static_cast<double>(opts.seed & 0xffffffffULL)}});
+  }
 
   // One persistent pool per worker count, shared across every workload,
   // policy, and rep: cells time the computation on warm workers, not

@@ -24,6 +24,13 @@ struct DriverOptions {
   bool list_only = false;
   bool help = false;           // --help: print usage and exit successfully
   std::string figure = "workloads";  // BENCH_<figure>.json; empty = no JSON
+  /// --fuzz: run the seed-replayable scenario fuzzer (workloads/fuzzer.hpp)
+  /// instead of the cell matrix. --fuzz-seed sets the sweep's base seed,
+  /// --fuzz-iters the composite count; --policy/--workers/--scale restrict
+  /// the composite space the same way they restrict the matrix.
+  bool fuzz = false;
+  std::uint64_t fuzz_seed = RunConfig{}.seed;
+  int fuzz_iters = 25;
   /// Topology knobs for the persistent pools run_matrix builds: --pin,
   /// --placement, --wake-batch, --steal.
   rt::SchedulerOptions sched;

@@ -32,6 +32,9 @@ void register_samplesort(Registry& r);
 void register_pbfs(Registry& r);
 void register_components(Registry& r);
 void register_tlmm_sim(Registry& r);
+void register_quadtree(Registry& r);
+void register_listappend(Registry& r);
+void register_streamcount(Registry& r);
 
 const char* policy_name(PolicyKind kind) {
   switch (kind) {
@@ -66,6 +69,9 @@ Registry& Registry::instance() {
     register_pbfs(*r);
     register_components(*r);
     register_tlmm_sim(*r);
+    register_quadtree(*r);
+    register_listappend(*r);
+    register_streamcount(*r);
     return r;
   }();
   return *registry;
