@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <utility>
 
 #include "core/view_ops.hpp"
+#include "mem/internal_alloc.hpp"
 #include "util/assert.hpp"
 
 namespace cilkm::hypermap {
@@ -32,7 +32,8 @@ class HyperMap {
   HyperMap(HyperMap&& other) noexcept { swap(other); }
   HyperMap& operator=(HyperMap&& other) noexcept {
     if (this != &other) {
-      table_.reset();
+      free_table(table_, capacity_);
+      table_ = nullptr;
       capacity_ = size_ = 0;
       swap(other);
     }
@@ -40,6 +41,8 @@ class HyperMap {
   }
   HyperMap(const HyperMap&) = delete;
   HyperMap& operator=(const HyperMap&) = delete;
+
+  ~HyperMap() { free_table(table_, capacity_); }
 
   bool empty() const noexcept { return size_ == 0; }
   std::size_t size() const noexcept { return size_; }
@@ -88,7 +91,7 @@ class HyperMap {
     Entry* e = lookup(key);
     if (e == nullptr) return;
     const std::size_t mask = capacity_ - 1;
-    std::size_t hole = static_cast<std::size_t>(e - table_.get());
+    std::size_t hole = static_cast<std::size_t>(e - table_);
     std::size_t i = (hole + 1) & mask;
     while (table_[i].key != nullptr) {
       const std::size_t home = hash(table_[i].key) & mask;
@@ -117,7 +120,7 @@ class HyperMap {
   }
 
   void swap(HyperMap& other) noexcept {
-    table_.swap(other.table_);
+    std::swap(table_, other.table_);
     std::swap(capacity_, other.capacity_);
     std::swap(size_, other.size_);
   }
@@ -155,9 +158,9 @@ class HyperMap {
 
   void expand() {
     const std::size_t new_cap = capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
-    auto old_table = std::move(table_);
+    Entry* old_table = table_;
     const std::size_t old_cap = capacity_;
-    table_ = std::make_unique<Entry[]>(new_cap);
+    table_ = alloc_table(new_cap);
     capacity_ = new_cap;
     size_ = 0;
     for (std::size_t i = 0; i < old_cap; ++i) {
@@ -165,9 +168,27 @@ class HyperMap {
         insert_nogrow(old_table[i].key, old_table[i].view, old_table[i].ops);
       }
     }
+    free_table(old_table, old_cap);
   }
 
-  std::unique_ptr<Entry[]> table_;
+  /// Entry tables come from the tagged internal allocator. A deposited map
+  /// moves between workers and is merged (and its table freed) wherever the
+  /// join lands, so the cross-worker free path is the allocator's problem,
+  /// not this class's.
+  static Entry* alloc_table(std::size_t cap) {
+    void* p = mem::InternalAlloc::instance().allocate(
+        cap * sizeof(Entry), mem::AllocTag::kHypermapNodes);
+    Entry* table = static_cast<Entry*>(p);
+    for (std::size_t i = 0; i < cap; ++i) ::new (&table[i]) Entry{};
+    return table;
+  }
+  static void free_table(Entry* table, std::size_t cap) noexcept {
+    if (table == nullptr) return;
+    mem::InternalAlloc::instance().deallocate(table, cap * sizeof(Entry),
+                                              mem::AllocTag::kHypermapNodes);
+  }
+
+  Entry* table_ = nullptr;
   std::size_t capacity_ = 0;
   std::size_t size_ = 0;
 };

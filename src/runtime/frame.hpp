@@ -9,6 +9,7 @@
 #include <atomic>
 #include <exception>
 
+#include "mem/internal_alloc.hpp"
 #include "runtime/context.hpp"
 #include "runtime/pedigree.hpp"
 #include "runtime/stack_pool.hpp"
@@ -23,6 +24,19 @@ namespace cilkm::rt {
 using ViewSetDeposit = views::ViewSetDeposit;
 
 struct SpawnFrame {
+  /// fork2join's fast path embeds frames in the spawning stack frame; any
+  /// frame the runtime (or an embedder) heap-allocates goes through the
+  /// tagged internal allocator instead of plain operator new. The sized
+  /// delete covers SpawnFrameT subobjects too.
+  static void* operator new(std::size_t bytes) {
+    return mem::InternalAlloc::instance().allocate(bytes,
+                                                   mem::AllocTag::kFrames);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    mem::InternalAlloc::instance().deallocate(p, bytes,
+                                              mem::AllocTag::kFrames);
+  }
+
   /// Type-erased invoker of the deferred branch `b` (set by SpawnFrameT).
   void (*invoke_b)(SpawnFrame*) = nullptr;
 

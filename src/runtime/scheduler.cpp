@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "mem/internal_alloc.hpp"
 #include "tlmm/region.hpp"
 #include "topo/topology.hpp"
 #include "util/assert.hpp"
@@ -140,6 +141,11 @@ void Scheduler::warm_up() {
 void Scheduler::worker_thread(Worker* w) {
   if (options_.pin) {
     topo::pin_current_thread(worker_cpu_[w->id()]);  // best-effort
+    // Bind this thread's allocator magazine to the pinned CPU's NUMA shard:
+    // every batch exchange (views, SPA pages, frames) stays node-local
+    // without per-refill CPU queries. Unpinned workers keep deriving the
+    // shard from wherever they currently run.
+    mem::InternalAlloc::bind_current_thread(worker_cpu_[w->id()]);
   }
   tls_worker = w;
   tlmm::tls_region_base = w->region_base();

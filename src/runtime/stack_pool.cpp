@@ -3,8 +3,8 @@
 #include <sys/mman.h>
 
 #include <mutex>
-#include <new>
 
+#include "mem/internal_alloc.hpp"
 #include "runtime/sanitizer.hpp"
 #include "util/assert.hpp"
 
@@ -15,6 +15,27 @@ StackPool& StackPool::instance() {
   return pool;
 }
 
+StackPool::StackPool(const topo::Topology* topology,
+                     std::size_t max_cached_per_node)
+    : nodes_(topology != nullptr ? *topology : topo::Topology::machine()),
+      shards_(nodes_.num_shards()),
+      max_cached_per_node_(max_cached_per_node) {
+  // Fiber headers live in the internal allocator; touching it here pins the
+  // construction order, so its (function-local static) instance outlives
+  // this pool's destructor.
+  (void)mem::InternalAlloc::instance();
+}
+
+StackPool::~StackPool() {
+  for (Shard& s : shards_) {
+    while (s.head != nullptr) {
+      Fiber* fiber = s.head;
+      s.head = fiber->next;
+      destroy_fiber(fiber);
+    }
+  }
+}
+
 Fiber* StackPool::allocate_fresh() {
   const std::size_t size = kDefaultStackBytes;
   void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
@@ -22,7 +43,8 @@ Fiber* StackPool::allocate_fresh() {
   CILKM_CHECK(p != MAP_FAILED, "fiber stack mmap failed");
   // Guard page at the low end (stacks grow downward).
   CILKM_CHECK(::mprotect(p, 4096, PROT_NONE) == 0, "guard mprotect failed");
-  auto* fiber = new Fiber;
+  auto* fiber = mem::InternalAlloc::instance().create<Fiber>(
+      mem::AllocTag::kFiberStacks);
   fiber->alloc_base = static_cast<std::byte*>(p);
   fiber->alloc_size = size;
   fiber->stack_top = fiber->alloc_base + size;
@@ -31,24 +53,81 @@ Fiber* StackPool::allocate_fresh() {
   return fiber;
 }
 
-Fiber* StackPool::acquire() {
+void StackPool::destroy_fiber(Fiber* fiber) {
+  tsan::destroy_fiber(fiber->tsan_fiber);
+  ::munmap(fiber->alloc_base, fiber->alloc_size);
+  // Shard-direct free (no magazine): trims are rare, and the pool's static
+  // destructor may run after the calling thread's TLS magazine is gone.
+  fiber->~Fiber();
+  mem::InternalAlloc::instance().deallocate(
+      fiber, sizeof(Fiber), mem::AllocTag::kFiberStacks, nullptr);
+}
+
+Fiber* StackPool::acquire(LocalFiberCache* local) {
+  if (local != nullptr && local->head != nullptr) {
+    Fiber* fiber = local->head;
+    local->head = fiber->next;
+    fiber->next = nullptr;
+    --local->count;
+    return fiber;
+  }
+  Shard& s = shards_[nodes_.current_shard()];
   {
-    std::lock_guard guard(lock_);
-    if (free_list_ != nullptr) {
-      Fiber* fiber = free_list_;
-      free_list_ = fiber->next;
+    std::lock_guard guard(s.lock);
+    if (s.head != nullptr) {
+      Fiber* fiber = s.head;
+      s.head = fiber->next;
       fiber->next = nullptr;
+      --s.count;
       return fiber;
     }
-    ++created_;
   }
+  created_.fetch_add(1, std::memory_order_relaxed);
   return allocate_fresh();
 }
 
-void StackPool::release(Fiber* fiber) {
-  std::lock_guard guard(lock_);
-  fiber->next = free_list_;
-  free_list_ = fiber;
+void StackPool::release(Fiber* fiber, LocalFiberCache* local) {
+  if (local != nullptr && local->count < LocalFiberCache::kMaxCached) {
+    fiber->next = local->head;
+    local->head = fiber;
+    ++local->count;
+    return;
+  }
+  shard_release(fiber);
+}
+
+void StackPool::shard_release(Fiber* fiber) {
+  // Recycle into the *current* node's shard: the releasing worker (who
+  // touched the stack last) is its most likely next user.
+  Shard& s = shards_[nodes_.current_shard()];
+  {
+    std::lock_guard guard(s.lock);
+    if (s.count < max_cached_per_node_) {
+      fiber->next = s.head;
+      s.head = fiber;
+      ++s.count;
+      return;
+    }
+  }
+  // Shard at its high-water mark: trim instead of pooling, so peak RSS
+  // follows demand down.
+  destroy_fiber(fiber);
+}
+
+void StackPool::flush(LocalFiberCache& local) {
+  while (local.head != nullptr) {
+    Fiber* fiber = local.head;
+    local.head = fiber->next;
+    fiber->next = nullptr;
+    shard_release(fiber);
+  }
+  local.count = 0;
+}
+
+std::size_t StackPool::cached(unsigned shard) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard guard(const_cast<SpinLock&>(s.lock));
+  return s.count;
 }
 
 }  // namespace cilkm::rt

@@ -1,12 +1,21 @@
 // Pooled, guard-paged fiber stacks. Fibers are the reproduction's stand-in
 // for Cilk-M's TLMM-backed cactus stack (DESIGN.md): each stolen branch and
-// each parked join continuation occupies one. Stacks are recycled through a
-// global free list; per-worker caching happens in the Worker.
+// each parked join continuation occupies one. Free fibers recycle through
+// per-NUMA-node shards (stack pages were first-touched on the node that
+// carved them; node-local recycling keeps them there), with a small
+// per-worker LIFO cache in front and a high-water trim behind: shards
+// munmap stacks beyond a per-node cap, so long-lived pools don't pin peak
+// RSS at the high-water mark of one burst. Fiber headers come from the
+// tagged internal allocator (AllocTag::kFiberStacks).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <vector>
 
+#include "mem/node_map.hpp"
 #include "runtime/context.hpp"
+#include "util/cache.hpp"
 #include "util/spinlock.hpp"
 
 namespace cilkm::rt {
@@ -20,7 +29,17 @@ struct Fiber {
   void* tsan_fiber = nullptr;  // TSan shadow state, 1:1 with this stack
 };
 
-/// Process-wide stack pool. Thread-safe.
+/// A worker's local cache of free fibers: LIFO, single-owner, lock-free.
+/// Small — the node shard is the real reservoir; this just keeps the
+/// steal/join hot path off the shard lock.
+struct LocalFiberCache {
+  static constexpr std::size_t kMaxCached = 4;
+  Fiber* head = nullptr;
+  std::size_t count = 0;
+};
+
+/// Node-sharded stack pool. Thread-safe; instance() is the process-wide
+/// pool, standalone instances (tests) take an injected topology and cap.
 class StackPool {
  public:
   // Stacks are lazily committed (MAP_NORESERVE) so a generous virtual size
@@ -29,22 +48,52 @@ class StackPool {
   // deep spawn chains.
   static constexpr std::size_t kDefaultStackBytes = 8u << 20;
 
+  /// High-water trim: free fibers cached per node shard beyond this are
+  /// destroyed (munmap + header free) instead of pooled.
+  static constexpr std::size_t kMaxCachedPerNode = 32;
+
   static StackPool& instance();
+
+  explicit StackPool(const topo::Topology* topology = nullptr,
+                     std::size_t max_cached_per_node = kMaxCachedPerNode);
+  ~StackPool();
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
 
   /// Get a fiber with a fresh (or recycled) stack. The first (lowest) page is
   /// PROT_NONE so runaway recursion faults instead of corrupting memory.
-  Fiber* acquire();
-  void release(Fiber* fiber);
+  /// With `local`, the worker's cache is tried before the node shard.
+  Fiber* acquire(LocalFiberCache* local = nullptr);
+  void release(Fiber* fiber, LocalFiberCache* local = nullptr);
+
+  /// Drain a worker's cache into the node shards (worker teardown).
+  void flush(LocalFiberCache& local);
 
   /// Stacks ever created (for cactus-stack pressure accounting in tests).
-  std::size_t total_created() const noexcept { return created_; }
+  std::size_t total_created() const noexcept {
+    return created_.load(std::memory_order_relaxed);
+  }
+
+  /// Free fibers parked in one node shard (test hook).
+  std::size_t cached(unsigned shard) const;
+  unsigned num_shards() const noexcept { return nodes_.num_shards(); }
 
  private:
-  Fiber* allocate_fresh();
+  struct alignas(kCacheLineSize) Shard {
+    SpinLock lock;
+    Fiber* head = nullptr;
+    std::size_t count = 0;
+  };
 
-  SpinLock lock_;
-  Fiber* free_list_ = nullptr;
-  std::size_t created_ = 0;
+  Fiber* allocate_fresh();
+  void destroy_fiber(Fiber* fiber);
+  void shard_release(Fiber* fiber);
+
+  mem::NodeMap nodes_;
+  std::vector<Shard> shards_;
+  std::size_t max_cached_per_node_;
+  std::atomic<std::size_t> created_{0};
 };
 
 }  // namespace cilkm::rt

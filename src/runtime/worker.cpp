@@ -21,7 +21,11 @@ Worker::Worker(Scheduler* sched, unsigned id) : id_(id), sched_(sched) {
       batch == 0 ? Deque::kMaxStealBatch : std::min(batch, Deque::kMaxStealBatch);
 }
 
-Worker::~Worker() = default;
+Worker::~Worker() {
+  // Hand cached fibers back to the node shards; the pool (and its trim
+  // policy) outlives any one worker.
+  StackPool::instance().flush(fiber_cache_);
+}
 
 // ---------------------------------------------------------------------------
 // Scheduling: fibers, parking, stealing. All view bookkeeping is delegated
@@ -40,7 +44,7 @@ void Worker::merge_right(ViewSetDeposit* in) {
 
 void Worker::drain_pending() {
   if (pending_recycle_ != nullptr) {
-    StackPool::instance().release(pending_recycle_);
+    StackPool::instance().release(pending_recycle_, &fiber_cache_);
     pending_recycle_ = nullptr;
   }
 }
@@ -130,7 +134,7 @@ void fiber_main(void* arg) {
 }
 
 void Worker::launch(SpawnFrame* frame_or_null_root) {
-  Fiber* fiber = StackPool::instance().acquire();
+  Fiber* fiber = StackPool::instance().acquire(&fiber_cache_);
   Tracer::instance().record(id_, TraceEvent::kLaunch, frame_or_null_root);
   ++stats_[StatCounter::kFibersAllocated];
   launch_frame_ = frame_or_null_root;

@@ -1,7 +1,6 @@
 #include "spa/page_pool.hpp"
 
-#include <mutex>
-
+#include "mem/internal_alloc.hpp"
 #include "util/assert.hpp"
 
 namespace cilkm::spa {
@@ -11,59 +10,29 @@ PagePool& PagePool::instance() {
   return pool;
 }
 
-SpaPage* PagePool::acquire(LocalPagePool* local) {
-  if (local != nullptr && !local->pages.empty()) {
-    SpaPage* page = local->pages.back();
-    local->pages.pop_back();
-    return page;
-  }
-  {
-    std::lock_guard guard(lock_);
-    if (local != nullptr) {
-      while (local->pages.size() < LocalPagePool::kBatch && !global_.empty()) {
-        local->pages.push_back(global_.back());
-        global_.pop_back();
-      }
-    }
-    if (!global_.empty()) {
-      SpaPage* page = global_.back();
-      global_.pop_back();
-      return page;
-    }
-    if (local != nullptr && !local->pages.empty()) {
-      SpaPage* page = local->pages.back();
-      local->pages.pop_back();
-      return page;
-    }
-    ++total_allocated_;
-  }
-  auto* page = new SpaPage;
-  page->clear();
+SpaPage* PagePool::acquire() {
+  void* p = mem::InternalAlloc::instance().allocate(sizeof(SpaPage),
+                                                    mem::AllocTag::kSpaPages);
+  auto* page = static_cast<SpaPage*>(p);
+  // The free-list link occupied the first 8 bytes (views[0].view); every
+  // other byte is null/zero — fresh pages come from zeroed chunks, recycled
+  // pages were released empty. Re-null the one clobbered slot.
+  page->views[0] = ViewSlot{nullptr, nullptr};
+  CILKM_DCHECK(page->all_empty(), "acquired SPA page not empty");
   return page;
 }
 
-void PagePool::release(SpaPage* page, LocalPagePool* local) {
+void PagePool::release(SpaPage* page) {
   CILKM_CHECK(page->all_empty(), "only empty SPA maps may be recycled");
   page->num_logs = 0;  // reset overflow state; view array is already zero
-  if (local != nullptr) {
-    local->pages.push_back(page);
-    if (local->pages.size() > LocalPagePool::kHighWater) {
-      std::lock_guard guard(lock_);
-      for (std::size_t i = 0; i < LocalPagePool::kBatch; ++i) {
-        global_.push_back(local->pages.back());
-        local->pages.pop_back();
-      }
-    }
-    return;
-  }
-  std::lock_guard guard(lock_);
-  global_.push_back(page);
+  mem::InternalAlloc::instance().deallocate(page, sizeof(SpaPage),
+                                            mem::AllocTag::kSpaPages);
 }
 
-void PagePool::flush(LocalPagePool& local) {
-  std::lock_guard guard(lock_);
-  for (SpaPage* page : local.pages) global_.push_back(page);
-  local.pages.clear();
+std::size_t PagePool::total_allocated() const noexcept {
+  return mem::InternalAlloc::instance()
+      .tag_stats(mem::AllocTag::kSpaPages)
+      .carved_blocks;
 }
 
 }  // namespace cilkm::spa

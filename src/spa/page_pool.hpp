@@ -1,43 +1,34 @@
-// Memory pools of empty SPA pages for *public* SPA maps (paper Section 7):
-// view transferal allocates public pages here, hypermerge recycles them.
-// The paper's invariant is enforced: only all-empty pages are recycled.
-// Structured like the rest of the Cilk-M internal allocator — every worker
-// owns a local pool, and a global pool rebalances between them (Hoard-like).
+// Pooling of empty SPA pages for *public* SPA maps (paper Section 7): view
+// transferal allocates public pages here, hypermerge recycles them. Since
+// the internal-allocator unification this is a thin adapter over
+// mem::InternalAlloc with AllocTag::kSpaPages — per-worker caching happens
+// in the calling thread's magazine, and the global pool is sharded per
+// NUMA node. The paper's invariant is still enforced here: only all-empty
+// pages are recycled, and the tag's zeroed-chunk policy guarantees a fresh
+// page arrives all-empty too.
 #pragma once
 
-#include <vector>
+#include <cstddef>
 
 #include "spa/spa_map.hpp"
-#include "util/spinlock.hpp"
 
 namespace cilkm::spa {
-
-/// A worker's local pool of empty public pages.
-struct LocalPagePool {
-  static constexpr std::size_t kBatch = 4;
-  static constexpr std::size_t kHighWater = 8;
-  std::vector<SpaPage*> pages;
-};
 
 class PagePool {
  public:
   static PagePool& instance();
 
-  /// Returns an all-empty page (freshly zeroed if newly allocated).
-  SpaPage* acquire(LocalPagePool* local);
+  /// Returns an all-empty page. Fresh pages come from zeroed chunks;
+  /// recycled pages were released empty — either way the acquire invariant
+  /// (all view slots null, num_valid == 0, num_logs == 0) holds.
+  SpaPage* acquire();
 
   /// Recycle a page. Enforces the only-empty-pages-are-recycled invariant.
-  void release(SpaPage* page, LocalPagePool* local);
+  void release(SpaPage* page);
 
-  /// Drain a worker's local pool into the global pool (worker teardown).
-  void flush(LocalPagePool& local);
-
-  std::size_t total_allocated() const noexcept { return total_allocated_; }
-
- private:
-  SpinLock lock_;
-  std::vector<SpaPage*> global_;
-  std::size_t total_allocated_ = 0;
+  /// Pages of backing store carved so far (an upper bound on pages ever
+  /// handed out: chunks carve 16 pages at a time). Lock-free read.
+  std::size_t total_allocated() const noexcept;
 };
 
 }  // namespace cilkm::spa

@@ -1,89 +1,55 @@
-// A Hoard-style pooled allocator for reducer views (paper Sections 5 and 7:
-// the Cilk-M runtime structures its internal memory allocation as per-worker
-// local pools rebalanced against a global pool). Small size classes are
-// carved from 4-KiB chunks; each thread keeps a local free cache per class
-// and exchanges fixed-size batches with a global shard under a spinlock.
-// View creation is the dominant reduce overhead (paper Figure 8), so the
-// allocation path matters.
+// Pooled allocation for reducer views — since the internal-allocator
+// unification a thin adapter over mem::InternalAlloc with AllocTag::kViews.
+// The per-thread magazine / NUMA-sharded global pool mechanics (paper
+// Sections 5 and 7: per-worker local pools rebalanced against a global
+// pool) live in mem/internal_alloc.hpp; this keeps the view-facing API that
+// core/reducer.hpp and the tests speak. View creation is the dominant
+// reduce overhead (paper Figure 8), so the allocation path matters.
 #pragma once
 
-#include <array>
 #include <cstddef>
-#include <new>
-#include <vector>
 
-#include "util/spinlock.hpp"
+#include "mem/internal_alloc.hpp"
 
 namespace cilkm {
 
 class ViewPool {
  public:
-  static constexpr std::size_t kClassSizes[] = {16, 32, 64, 128, 256};
-  static constexpr std::size_t kNumClasses = std::size(kClassSizes);
-  static constexpr std::size_t kBatch = 16;
-  static constexpr std::size_t kHighWater = 64;
-  static constexpr std::size_t kChunkBytes = 4096;
-
-  static ViewPool& instance();
-
-  ~ViewPool() {
-    for (void* chunk : chunks_owned_) ::operator delete(chunk);
+  static ViewPool& instance() {
+    static ViewPool pool;
+    return pool;
   }
 
   /// Allocate `bytes` of storage (uninitialised). Sizes above the largest
-  /// class fall through to operator new.
-  void* allocate(std::size_t bytes);
-  void deallocate(void* p, std::size_t bytes);
+  /// class fall through to operator new (still tag-counted).
+  void* allocate(std::size_t bytes) {
+    return mem::InternalAlloc::instance().allocate(bytes,
+                                                   mem::AllocTag::kViews);
+  }
+  void deallocate(void* p, std::size_t bytes) {
+    mem::InternalAlloc::instance().deallocate(p, bytes,
+                                              mem::AllocTag::kViews);
+  }
 
   /// Typed convenience: pool-backed construct/destroy.
   template <typename T, typename... Args>
   T* create(Args&&... args) {
-    void* p = allocate(sizeof(T));
-    try {
-      return ::new (p) T(static_cast<Args&&>(args)...);
-    } catch (...) {
-      deallocate(p, sizeof(T));
-      throw;
-    }
+    return mem::InternalAlloc::instance().create<T>(
+        mem::AllocTag::kViews, static_cast<Args&&>(args)...);
   }
   template <typename T>
   void destroy(T* p) {
-    p->~T();
-    deallocate(p, sizeof(T));
+    mem::InternalAlloc::instance().destroy(mem::AllocTag::kViews, p);
   }
 
-  /// Diagnostics for tests: total chunks carved so far.
-  std::size_t chunks_allocated() const noexcept { return chunks_; }
+  /// Diagnostics for tests: total chunks carved so far (all tags).
+  std::size_t chunks_allocated() const noexcept {
+    return mem::InternalAlloc::instance().chunks_allocated();
+  }
 
   static constexpr int size_class(std::size_t bytes) noexcept {
-    for (std::size_t c = 0; c < kNumClasses; ++c) {
-      if (bytes <= kClassSizes[c]) return static_cast<int>(c);
-    }
-    return -1;
+    return mem::InternalAlloc::size_class(bytes);
   }
-
- private:
-  struct FreeNode {
-    FreeNode* next;
-  };
-  struct GlobalShard {
-    SpinLock lock;
-    FreeNode* head = nullptr;
-  };
-  struct LocalCache {
-    std::array<FreeNode*, kNumClasses> head{};
-    std::array<std::size_t, kNumClasses> count{};
-    ~LocalCache();  // flush to the global shards on thread exit
-  };
-
-  static LocalCache& local();
-  void refill(LocalCache& cache, int cls);
-  void drain(LocalCache& cache, int cls);
-
-  std::array<GlobalShard, kNumClasses> shards_;
-  SpinLock chunk_lock_;
-  std::vector<void*> chunks_owned_;
-  std::size_t chunks_ = 0;
 };
 
 }  // namespace cilkm

@@ -13,7 +13,6 @@ SpaViewStore::SpaViewStore(WorkerStats* stats) : stats_(stats) {}
 
 SpaViewStore::~SpaViewStore() {
   spa::SlotAllocator::instance().flush(slot_cache_);
-  spa::PagePool::instance().flush(page_pool_);
 }
 
 void SpaViewStore::install(std::uint64_t offset, void* view,
@@ -57,7 +56,7 @@ void SpaViewStore::deposit(std::vector<spa::SpaDepositEntry>* out) {
   for (const std::uint32_t page_idx : touched_pages_) {
     spa::SpaPage* priv = page_at(page_idx);
     if (priv->all_empty()) continue;
-    spa::SpaPage* pub = spa::PagePool::instance().acquire(&page_pool_);
+    spa::SpaPage* pub = spa::PagePool::instance().acquire();
     priv->for_each_valid([&](std::uint32_t idx, spa::ViewSlot& slot) {
       pub->views[idx] = slot;
       pub->note_insert(idx);
@@ -79,7 +78,7 @@ void SpaViewStore::install_deposit(std::vector<spa::SpaDepositEntry>* in) {
     });
     pub->num_valid = 0;
     pub->num_logs = 0;
-    spa::PagePool::instance().release(pub, &page_pool_);
+    spa::PagePool::instance().release(pub);
   }
   in->clear();
 }
@@ -103,7 +102,7 @@ void SpaViewStore::merge(std::vector<spa::SpaDepositEntry>* in,
     });
     pub->num_valid = 0;
     pub->num_logs = 0;
-    spa::PagePool::instance().release(pub, &page_pool_);
+    spa::PagePool::instance().release(pub);
   }
   in->clear();
 }

@@ -73,9 +73,10 @@ struct ViewSetDeposit {
 // ---------------------------------------------------------------------------
 
 /// The TLMM/SPA state that used to be inlined in Worker: the emulated
-/// private region, the touched-page log, the Hoard-style slot cache, and the
-/// public-page pool handle. A reducer's key is its tlmm_addr (a byte offset
-/// valid in every worker's region).
+/// private region, the touched-page log, and the Hoard-style slot cache.
+/// Public pages come from the tagged internal allocator via PagePool (the
+/// calling thread's magazine is the per-worker cache). A reducer's key is
+/// its tlmm_addr (a byte offset valid in every worker's region).
 class SpaViewStore {
  public:
   explicit SpaViewStore(WorkerStats* stats);
@@ -120,7 +121,6 @@ class SpaViewStore {
   tlmm::WorkerRegion region_{spa::kRegionBytes};
   std::vector<std::uint32_t> touched_pages_;
   spa::LocalSlotCache slot_cache_;
-  spa::LocalPagePool page_pool_;
   WorkerStats* stats_;
 };
 

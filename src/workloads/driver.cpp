@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "bench/harness.hpp"
+#include "mem/internal_alloc.hpp"
 #include "runtime/scheduler.hpp"
 #include "topo/placement.hpp"
 #include "topo/topology.hpp"
@@ -350,7 +351,24 @@ int run_matrix(const DriverOptions& opts) {
       }
     }
   }
-  if (report.has_value()) report->flush();
+  if (report.has_value()) {
+    // Internal-allocator footprint of the sweep, one row per tag: peaks say
+    // how much memory each layer (views, SPA pages, hypermap tables, fiber
+    // headers, frames) actually needed; live says what is still held now.
+    auto& alloc = mem::InternalAlloc::instance();
+    alloc.stats_sync();  // fold this thread's in-magazine deltas in
+    for (std::size_t t = 0; t < mem::kNumTags; ++t) {
+      const auto tag = static_cast<mem::AllocTag>(t);
+      const mem::TagStats ts = alloc.tag_stats(tag);
+      report->add(std::string("mem:") + mem::to_string(tag), 0.0,
+                  {{"live_blocks", static_cast<double>(ts.live_blocks)},
+                   {"peak_blocks", static_cast<double>(ts.peak_blocks)},
+                   {"live_bytes", static_cast<double>(ts.live_bytes)},
+                   {"peak_bytes", static_cast<double>(ts.peak_bytes)},
+                   {"refills", static_cast<double>(ts.refills)}});
+    }
+    report->flush();
+  }
 
   if (failures != 0) {
     std::fprintf(stderr, "%d cell(s) FAILED verification\n", failures);

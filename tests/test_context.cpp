@@ -89,12 +89,18 @@ TEST(Context, ArgumentIsDeliveredToEntryFunction) {
 }
 
 TEST(StackPool, RecyclesFibers) {
+  // Recycle through an explicit per-worker cache: the shard path is only
+  // LIFO per node, and an unpinned test thread may migrate between the
+  // release and the re-acquire, so the local cache is the deterministic way
+  // to observe reuse.
   auto& pool = StackPool::instance();
-  Fiber* f1 = pool.acquire();
-  pool.release(f1);
-  Fiber* f2 = pool.acquire();
+  cilkm::rt::LocalFiberCache cache;
+  Fiber* f1 = pool.acquire(&cache);
+  pool.release(f1, &cache);
+  Fiber* f2 = pool.acquire(&cache);
   EXPECT_EQ(f1, f2);  // LIFO reuse
-  pool.release(f2);
+  pool.release(f2, &cache);
+  pool.flush(cache);
 }
 
 TEST(StackPool, StacksAreDistinctAndSized) {

@@ -19,7 +19,9 @@ TEST(ViewPool, SizeClassMapping) {
   EXPECT_EQ(ViewPool::size_class(17), 1);
   EXPECT_EQ(ViewPool::size_class(32), 1);
   EXPECT_EQ(ViewPool::size_class(256), 4);
-  EXPECT_EQ(ViewPool::size_class(257), -1);  // falls through to new/delete
+  EXPECT_EQ(ViewPool::size_class(257), 5);
+  EXPECT_EQ(ViewPool::size_class(4096), 8);
+  EXPECT_EQ(ViewPool::size_class(4097), -1);  // falls through to new/delete
 }
 
 TEST(ViewPool, AllocationsAreUsableAndDistinct) {
@@ -52,10 +54,10 @@ TEST(ViewPool, FreedSlotsAreReused) {
 
 TEST(ViewPool, OversizedAllocationsFallThrough) {
   auto& pool = ViewPool::instance();
-  void* p = pool.allocate(4096);
+  void* p = pool.allocate(8192);
   ASSERT_NE(p, nullptr);
-  std::memset(p, 1, 4096);
-  pool.deallocate(p, 4096);
+  std::memset(p, 1, 8192);
+  pool.deallocate(p, 8192);
 }
 
 TEST(ViewPool, CreateDestroyRunConstructors) {

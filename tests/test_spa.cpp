@@ -163,7 +163,7 @@ TEST(SlotAllocator, ConcurrentAllocationYieldsDistinctSlots) {
 
 TEST(PagePool, RecyclesOnlyEmptyPagesAndReusesThem) {
   auto& pool = PagePool::instance();
-  SpaPage* page = pool.acquire(nullptr);
+  SpaPage* page = pool.acquire();
   ASSERT_NE(page, nullptr);
   EXPECT_TRUE(page->all_empty());
 
@@ -173,16 +173,16 @@ TEST(PagePool, RecyclesOnlyEmptyPagesAndReusesThem) {
   // Must empty the page before recycling (the paper's invariant).
   page->views[0] = {nullptr, nullptr};
   page->num_valid = 0;
-  pool.release(page, nullptr);
+  pool.release(page);
 
-  SpaPage* again = pool.acquire(nullptr);
+  SpaPage* again = pool.acquire();
   EXPECT_TRUE(again->all_empty());
-  pool.release(again, nullptr);
+  pool.release(again);
 }
 
 TEST(PagePool, OverflowedLogStateIsResetOnRelease) {
   auto& pool = PagePool::instance();
-  SpaPage* page = pool.acquire(nullptr);
+  SpaPage* page = pool.acquire();
   static int dummy;
   for (std::uint32_t i = 0; i < kLogCapacity + 1; ++i) {
     page->views[i] = {&dummy, nullptr};
@@ -190,35 +190,42 @@ TEST(PagePool, OverflowedLogStateIsResetOnRelease) {
   }
   page->for_each_valid([](std::uint32_t, ViewSlot& s) { s = {nullptr, nullptr}; });
   page->num_valid = 0;
-  pool.release(page, nullptr);
-  SpaPage* again = pool.acquire(nullptr);
+  pool.release(page);
+  SpaPage* again = pool.acquire();
   EXPECT_NE(again->num_logs, kLogsOverflowed);
-  pool.release(again, nullptr);
+  pool.release(again);
 }
 
-TEST(PagePool, LocalPoolCachingAndFlush) {
+TEST(PagePool, ReleasedPagesAreRecycledNotRecarved) {
+  // The per-worker caching moved into the internal allocator's magazines:
+  // releasing pages and re-acquiring the same number must be served entirely
+  // from recycled blocks, without carving new backing store.
   auto& pool = PagePool::instance();
-  LocalPagePool local;
   std::vector<SpaPage*> pages;
-  for (int i = 0; i < 12; ++i) pages.push_back(pool.acquire(&local));
-  for (SpaPage* p : pages) pool.release(p, &local);
-  EXPECT_LE(local.pages.size(),
-            LocalPagePool::kHighWater + LocalPagePool::kBatch);
-  pool.flush(local);
-  EXPECT_TRUE(local.pages.empty());
+  for (int i = 0; i < 12; ++i) pages.push_back(pool.acquire());
+  for (SpaPage* p : pages) pool.release(p);
+  const std::size_t carved_before = pool.total_allocated();
+  pages.clear();
+  for (int i = 0; i < 12; ++i) {
+    SpaPage* p = pool.acquire();
+    EXPECT_TRUE(p->all_empty());
+    pages.push_back(p);
+  }
+  EXPECT_EQ(pool.total_allocated(), carved_before);
+  for (SpaPage* p : pages) pool.release(p);
 }
 
 TEST(PagePoolDeath, ReleasingNonEmptyPageAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   auto& pool = PagePool::instance();
-  SpaPage* page = pool.acquire(nullptr);
+  SpaPage* page = pool.acquire();
   static int dummy;
   page->views[1] = {&dummy, nullptr};
   page->note_insert(1);
-  EXPECT_DEATH(pool.release(page, nullptr), "only empty SPA maps");
+  EXPECT_DEATH(pool.release(page), "only empty SPA maps");
   page->views[1] = {nullptr, nullptr};
   page->num_valid = 0;
-  pool.release(page, nullptr);
+  pool.release(page);
 }
 
 }  // namespace
