@@ -1,0 +1,177 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace cilkm::obs {
+
+namespace {
+
+using rt::TraceEvent;
+using rt::TraceRecord;
+
+/// Events that begin a duration slice on their worker's track.
+bool is_opener(TraceEvent e) noexcept {
+  return e == TraceEvent::kLaunch || e == TraceEvent::kResumeByThief ||
+         e == TraceEvent::kResumeSelf;
+}
+
+/// Events that end the running slice (openers also end it — a resume both
+/// closes the thief's stolen-branch slice and opens the continuation's).
+bool is_closer(TraceEvent e) noexcept {
+  return is_opener(e) || e == TraceEvent::kPark ||
+         e == TraceEvent::kDepositRight || e == TraceEvent::kRootDone;
+}
+
+const char* slice_name(TraceEvent e) noexcept {
+  return e == TraceEvent::kLaunch ? "strand" : "resume";
+}
+
+/// Microseconds (Chrome-trace native unit) since the first record.
+double rel_us(std::uint64_t t, std::uint64_t t0) noexcept {
+  return static_cast<double>(t - t0) / 1000.0;
+}
+
+void emit_number(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out << buf;
+}
+
+void emit_frame_arg(std::ostream& out, const void* frame) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%" PRIxPTR,
+                reinterpret_cast<std::uintptr_t>(frame));
+  out << "\"args\":{\"frame\":\"" << buf << "\"}";
+}
+
+struct EventList {
+  std::ostream& out;
+  bool first = true;
+
+  void begin(const char* ph) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"ph\":\"" << ph << "\",\"pid\":1,";
+  }
+};
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<TraceRecord>& records,
+                        const MetricsSnapshot& metrics, std::ostream& out) {
+  const std::uint64_t t0 = records.empty() ? 0 : records.front().time_ns;
+  const std::uint64_t t_end = records.empty() ? 0 : records.back().time_ns;
+
+  // A ring that snapshotted exactly full may have overwritten its oldest
+  // events; flag it so consumers (trace_check.py) relax pairing checks.
+  std::array<std::size_t, rt::Tracer::kMaxWorkers> per_worker_count{};
+  for (const TraceRecord& rec : records) ++per_worker_count[rec.worker];
+  const bool ring_wrapped =
+      std::any_of(per_worker_count.begin(), per_worker_count.end(),
+                  [](std::size_t n) { return n >= rt::Tracer::kRingCapacity; });
+
+  out << "{\n\"schema\":\"cilkm-trace-v1\",\n\"displayTimeUnit\":\"ms\",\n";
+  out << "\"otherData\":{";
+  out << "\"ring_wrapped\":" << (ring_wrapped ? 1 : 0);
+  for (const Metric& m : metrics.flatten()) {
+    out << ",\"" << m.name << "\":";
+    emit_number(out, m.value);
+  }
+  out << "},\n\"traceEvents\":[\n";
+
+  EventList ev{out};
+
+  // Metadata: name the process and every worker track present in the trace.
+  ev.begin("M");
+  out << "\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"cilkm\"}}";
+  for (unsigned w = 0; w < rt::Tracer::kMaxWorkers; ++w) {
+    if (per_worker_count[w] == 0) continue;
+    ev.begin("M");
+    out << "\"tid\":" << w
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " << w
+        << "\"}}";
+    ev.begin("M");
+    out << "\"tid\":" << w
+        << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << w
+        << "}}";
+  }
+
+  // Duration slices per worker track, from the open/close grammar above.
+  struct OpenSlice {
+    bool open = false;
+    std::uint64_t start_ns = 0;
+    TraceEvent opener = TraceEvent::kLaunch;
+    const void* frame = nullptr;
+  };
+  std::array<OpenSlice, rt::Tracer::kMaxWorkers> open{};
+  auto close_slice = [&](unsigned w, std::uint64_t end_ns) {
+    OpenSlice& s = open[w];
+    if (!s.open) return;
+    s.open = false;
+    ev.begin("X");
+    out << "\"tid\":" << w << ",\"name\":\"" << slice_name(s.opener)
+        << "\",\"ts\":";
+    emit_number(out, rel_us(s.start_ns, t0));
+    out << ",\"dur\":";
+    emit_number(out, rel_us(end_ns, s.start_ns));
+    out << ",";
+    emit_frame_arg(out, s.frame);
+    out << "}";
+  };
+  for (const TraceRecord& rec : records) {
+    if (is_closer(rec.event)) close_slice(rec.worker, rec.time_ns);
+    if (is_opener(rec.event)) {
+      open[rec.worker] = {true, rec.time_ns, rec.event, rec.frame};
+    }
+  }
+  for (unsigned w = 0; w < rt::Tracer::kMaxWorkers; ++w) {
+    close_slice(w, t_end);
+  }
+
+  // One instant per raw record: the full event stream stays inspectable.
+  for (const TraceRecord& rec : records) {
+    ev.begin("i");
+    out << "\"tid\":" << static_cast<unsigned>(rec.worker) << ",\"s\":\"t\","
+        << "\"name\":\"" << rt::to_string(rec.event) << "\",\"ts\":";
+    emit_number(out, rel_us(rec.time_ns, t0));
+    out << ",";
+    emit_frame_arg(out, rec.frame);
+    out << "}";
+  }
+
+  // Cumulative scheduler counters, sampled so huge traces stay ~512 counter
+  // points; the final sample always lands so totals read off the right edge.
+  if (!records.empty()) {
+    const std::size_t stride = std::max<std::size_t>(1, records.size() / 512);
+    std::uint64_t steals = 0, merges = 0, parks = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const TraceRecord& rec = records[i];
+      steals += rec.event == TraceEvent::kSteal;
+      merges += rec.event == TraceEvent::kMerge;
+      parks += rec.event == TraceEvent::kPark;
+      if (i % stride != 0 && i + 1 != records.size()) continue;
+      ev.begin("C");
+      out << "\"tid\":0,\"name\":\"sched\",\"ts\":";
+      emit_number(out, rel_us(rec.time_ns, t0));
+      out << ",\"args\":{\"steals\":" << steals << ",\"merges\":" << merges
+          << ",\"parks\":" << parks << "}}";
+    }
+  }
+
+  out << "\n]\n}\n";
+}
+
+bool export_chrome_trace_file(const std::string& path,
+                              const MetricsSnapshot& metrics) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(rt::Tracer::instance().snapshot(), metrics, out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace cilkm::obs

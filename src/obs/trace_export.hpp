@@ -1,0 +1,40 @@
+// Chrome trace_event exporter: converts the Tracer's per-worker rings into
+// the JSON object format chrome://tracing and Perfetto load directly. Per
+// worker track (pid 1, tid = worker id):
+//
+//   - X duration slices reconstructed from the launch/park/resume grammar:
+//     kLaunch opens a "strand" slice, kResumeByThief/kResumeSelf close the
+//     running slice and open a "resume" slice, kPark / kDepositRight /
+//     kRootDone close it.
+//   - an "i" instant for EVERY raw record (named by to_string(event)), so
+//     nothing the rings retained is invisible in the timeline.
+//   - a "C" counter track ("sched") sampling cumulative steal / merge /
+//     park counts over trace time.
+//
+// The run's MetricsSnapshot rides in otherData (flattened), together with
+// "schema": "cilkm-trace-v1" and a "ring_wrapped" flag warning that slice
+// pairing may be truncated at the front (a full ring overwrote its oldest
+// events). Timestamps are microseconds relative to the first record.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/trace.hpp"
+
+namespace cilkm::obs {
+
+/// Serialize `records` (time-ordered, as from Tracer::snapshot()) plus the
+/// flattened `metrics` to `out` as one Chrome-trace JSON object.
+void write_chrome_trace(const std::vector<rt::TraceRecord>& records,
+                        const MetricsSnapshot& metrics, std::ostream& out);
+
+/// Snapshot the process tracer and write it to `path`. Returns false when
+/// the file cannot be opened or written. Call after quiescence (the
+/// Tracer::snapshot contract).
+bool export_chrome_trace_file(const std::string& path,
+                              const MetricsSnapshot& metrics);
+
+}  // namespace cilkm::obs

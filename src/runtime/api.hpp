@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "runtime/frame.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/worker.hpp"
@@ -32,6 +33,14 @@ namespace cilkm {
 /// NOTE: the call may return on a different worker thread than it started on
 /// (the continuation migrates at a joining steal); do not cache
 /// thread-identity-dependent state across this call.
+///
+/// Work/span profiling (obs/profiler.hpp): under --profile every strand
+/// boundary here closes the running strand, opens the branch's fresh
+/// subcomputation accumulators, and combines work additively / span and
+/// burden by max at the join — the serial elision, the un-stolen fast path,
+/// and the stolen slow path all apply the identical combine rule, so the
+/// reported span is the DAG's span under every schedule. Off, the only cost
+/// is one relaxed load and predicted branches.
 template <typename A, typename B>
 void fork2join(A&& a, B&& b) {
   rt::Worker* w = rt::Worker::current();
@@ -39,14 +48,48 @@ void fork2join(A&& a, B&& b) {
   const rt::PedigreeNode* const spawn_parent = ped.parent;
   const std::uint64_t spawn_rank = ped.rank;
   rt::PedigreeNode child_node{spawn_rank, spawn_parent};
+  const bool prof = obs::profiler_enabled();
+  std::uint64_t sv_work = 0, sv_span = 0, sv_burden = 0;
+  std::uint64_t a_work = 0, a_span = 0, a_burden = 0;
+  if (prof) {
+    // Close the spawning strand and save its prefix totals; the child runs
+    // with fresh accumulators.
+    obs::ProfileState& ps = obs::current_profile();
+    obs::strand_end(ps);
+    sv_work = ps.work;
+    sv_span = ps.span;
+    sv_burden = ps.burden;
+  }
   if (w == nullptr) {
     // Outside the scheduler: plain serial execution (the serial elision),
     // advancing the pedigree through the identical spawn/sync transitions.
     ped = {&child_node, 0};
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();
+      ps = {};
+      obs::strand_begin(ps);
+    }
     a();
     rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();
+      obs::strand_end(ps);
+      a_work = ps.work;
+      a_span = ps.span;
+      a_burden = ps.burden;
+      ps = {};
+      obs::strand_begin(ps);
+    }
     b();
     rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();
+      obs::strand_end(ps);
+      ps.work = sv_work + a_work + ps.work;
+      ps.span = sv_span + std::max(a_span, ps.span);
+      ps.burden = sv_burden + std::max(a_burden, ps.burden);
+      obs::strand_begin(ps);
+    }
     return;
   }
   rt::SpawnFrameT<std::remove_reference_t<B>> frame(&b);
@@ -54,9 +97,23 @@ void fork2join(A&& a, B&& b) {
   // promote the frame (and read these fields) immediately.
   frame.ped_parent = spawn_parent;
   frame.ped_rank = spawn_rank;
+  if (prof) {
+    // Like the pedigree: the profiler slots must be valid before the push.
+    // The thief overwrites prof_work/span/burden, but prof_burden_left only
+    // ever accumulates victim-side protocol costs.
+    frame.prof_work = 0;
+    frame.prof_span = 0;
+    frame.prof_burden = 0;
+    frame.prof_burden_left = 0;
+  }
   w->deque().push(&frame);
 
   ped = {&child_node, 0};
+  if (prof) {
+    obs::ProfileState& ps = obs::current_profile();
+    ps = {};
+    obs::strand_begin(ps);
+  }
   std::exception_ptr a_eptr;
   try {
     a();
@@ -66,18 +123,51 @@ void fork2join(A&& a, B&& b) {
   // `w` (and the thread-local pedigree slot) may be stale if a() itself
   // migrated at an inner join; re-fetch both.
   rt::Worker* w2 = rt::Worker::current();
+  if (prof) {
+    obs::ProfileState& ps = obs::current_profile();
+    obs::strand_end(ps);
+    a_work = ps.work;
+    a_span = ps.span;
+    a_burden = ps.burden;
+  }
   rt::SpawnFrame* popped = w2->deque().take_if(&frame);
   if (popped == &frame) {
     // Fast path: not stolen. Mirrors serial execution; no view operations.
     rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
     if (a_eptr) std::rethrow_exception(a_eptr);
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();
+      ps = {};
+      obs::strand_begin(ps);
+    }
     b();
     rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();
+      obs::strand_end(ps);
+      ps.work = sv_work + a_work + ps.work;
+      ps.span = sv_span + std::max(a_span, ps.span);
+      ps.burden = sv_burden + std::max(a_burden, ps.burden);
+      obs::strand_begin(ps);
+    }
     return;
   }
   // Slow path: the continuation was (or is being) stolen. b runs (or ran)
   // on the thief at rank r+1 (fiber_main seats it from the frame).
   rt::Worker::join_slow(&frame);
+  if (prof) {
+    // Both branches have arrived: the thief published b's totals in the
+    // frame (before its release arrival, so they are visible here), and
+    // every victim-side protocol cost landed in prof_burden_left. This
+    // thread may not be the one that ran a() — re-fetch the slot.
+    obs::ProfileState& ps = obs::current_profile();
+    ps.work = sv_work + a_work + frame.prof_work;
+    ps.span = sv_span + std::max(a_span, frame.prof_span);
+    ps.burden =
+        sv_burden + std::max(a_burden + frame.prof_burden_left,
+                             frame.prof_burden);
+    obs::strand_begin(ps);
+  }
   rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
   if (a_eptr) std::rethrow_exception(a_eptr);
   if (frame.eptr) std::rethrow_exception(frame.eptr);

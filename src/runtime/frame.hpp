@@ -61,6 +61,19 @@ struct SpawnFrame {
   /// Exception thrown by the stolen branch, rethrown at the join.
   std::exception_ptr eptr;
 
+  /// Work/span profiler slots (obs/profiler.hpp), meaningful only when the
+  /// profiler is enabled. The thief (or self-pop fiber) publishes the stolen
+  /// branch's subcomputation totals in prof_work/prof_span/prof_burden
+  /// before announcing its join arrival; the victim accumulates its own
+  /// protocol costs (deposit, reinstall, merge) into prof_burden_left. The
+  /// resumed continuation combines both sides at the join. Deliberately
+  /// UNINITIALIZED: the profiler-off hot path must not pay the stores —
+  /// fork2join zeroes them only under profiling, before the frame is pushed.
+  std::uint64_t prof_work;
+  std::uint64_t prof_span;
+  std::uint64_t prof_burden;
+  std::uint64_t prof_burden_left;
+
   /// Pedigree snapshot of the spawning strand, written by fork2join BEFORE
   /// the frame is pushed (a thief may promote it immediately) and immutable
   /// afterwards. Whoever runs the continuation — the spawner's own fast

@@ -13,9 +13,13 @@ std::vector<TraceRecord> Tracer::snapshot() const {
   std::vector<TraceRecord> out;
   for (const auto& padded : rings_) {
     const Ring& ring = padded.value;
-    const std::uint64_t count = std::min<std::uint64_t>(ring.next, kRingCapacity);
-    const std::uint64_t start = ring.next - count;
-    for (std::uint64_t i = start; i < ring.next; ++i) {
+    // Acquire pairs with record()'s release store: everything below `next`
+    // is fully written. On a wrapped ring the retained window is the last
+    // kRingCapacity entries, walked oldest-first.
+    const std::uint64_t next = ring.next.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(next, kRingCapacity);
+    const std::uint64_t start = next - count;
+    for (std::uint64_t i = start; i < next; ++i) {
       out.push_back(ring.buf[i % kRingCapacity]);
     }
   }
@@ -27,7 +31,10 @@ std::vector<TraceRecord> Tracer::snapshot() const {
 }
 
 void Tracer::reset() {
-  for (auto& padded : rings_) padded.value.next = 0;
+  for (auto& padded : rings_) {
+    padded.value.next.store(0, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 void Tracer::dump_csv(std::ostream& out) const {

@@ -69,19 +69,44 @@ class Tracer {
 
   /// Record an event for `worker`. Wait-free: a per-worker ring that
   /// overwrites the oldest entries on overflow. Each ring is written by
-  /// exactly one worker thread.
+  /// exactly one worker thread. Events for workers beyond kMaxWorkers
+  /// cannot be retained (there is no ring to put them in) — they bump the
+  /// dropped() counter instead of vanishing silently.
   void record(unsigned worker, TraceEvent event, const void* frame) noexcept {
-    if (!enabled() || worker >= kMaxWorkers) return;
+    if (!enabled()) return;
+    if (worker >= kMaxWorkers) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     Ring& ring = rings_[worker].value;
-    const std::uint64_t i = ring.next++;
+    const std::uint64_t i = ring.next.load(std::memory_order_relaxed);
     ring.buf[i % kRingCapacity] =
         TraceRecord{now_ns(), frame, event, static_cast<std::uint8_t>(worker)};
+    // Release: a snapshotting thread that observes i+1 also observes the
+    // record. A mid-run snapshot is thereby well-defined (it sees a clean
+    // prefix of each ring) though still racy on wrapped slots; the intended
+    // contract remains snapshot-after-quiescence.
+    ring.next.store(i + 1, std::memory_order_release);
   }
 
-  /// All retained records, time-ordered. Call only after quiescence.
+  /// Events discarded because the worker id had no ring (>= kMaxWorkers).
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// All retained records in true time order, starting at the oldest entry
+  /// each ring still holds (on overflow the ring keeps the newest
+  /// kRingCapacity records per worker).
+  ///
+  /// Quiescence contract: call only after the traced run has completed
+  /// (Scheduler::run returning establishes happens-before with every worker
+  /// thread). The atomic ring indices make a mid-run call well-defined
+  /// memory-wise, but it may then miss in-flight records and, on a wrapped
+  /// ring, read slots concurrently overwritten.
   std::vector<TraceRecord> snapshot() const;
 
-  /// Clear all rings (call between runs, after quiescence).
+  /// Clear all rings and the dropped counter (call between runs, after
+  /// quiescence).
   void reset();
 
   /// CSV dump: time_ns,worker,event,frame.
@@ -89,11 +114,12 @@ class Tracer {
 
  private:
   struct Ring {
-    std::uint64_t next = 0;
+    std::atomic<std::uint64_t> next{0};
     std::array<TraceRecord, kRingCapacity> buf{};
   };
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
   std::array<CachePadded<Ring>, kMaxWorkers> rings_{};
 };
 

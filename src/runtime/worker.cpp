@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/profiler.hpp"
 #include "runtime/sanitizer.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
@@ -58,10 +59,18 @@ void fiber_main(void* arg) {
   SpawnFrame* frame = w->launch_frame_;
   w->launch_frame_ = nullptr;
 
+  const bool prof = obs::profiler_enabled();
   if (frame == nullptr) {
     // Root task: every run() starts from the root pedigree, so pedigrees
     // (and DPRNG streams) are reproducible per run, not per pool lifetime.
     current_pedigree() = PedigreeState{};
+    if (prof) {
+      // The root strand opens the run's outermost subcomputation; its final
+      // combined state IS the run's work/span/burden.
+      obs::ProfileState& ps = obs::current_profile();
+      ps = {};
+      obs::strand_begin(ps);
+    }
     Scheduler* sched = w->scheduler();
     try {
       sched->root_fn_();
@@ -69,6 +78,11 @@ void fiber_main(void* arg) {
       sched->root_eptr_ = std::current_exception();
     }
     Worker* w2 = Worker::current();  // the root may have migrated
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();  // re-fetch: migration
+      obs::strand_end(ps);
+      obs::Profiler::instance().record_run(ps);
+    }
     w2->views().collapse_into_leftmosts();
     w2->pending_recycle_ = w2->current_fiber_;
     w2->current_fiber_ = nullptr;
@@ -87,18 +101,46 @@ void fiber_main(void* arg) {
   // have resumed it. Seating this thread-local here covers thieves AND
   // self-pops (both launch through fiber_main).
   current_pedigree() = {frame->ped_parent, frame->ped_rank + 1};
+  if (prof) {
+    // The stolen branch is a fresh subcomputation; seed its burden with the
+    // steal latency that delivered this frame (0 for a self-pop), so the
+    // scheduling cost of getting here is charged to this path.
+    obs::ProfileState& ps = obs::current_profile();
+    ps = {};
+    ps.burden = w->launch_burden_ns_;
+    obs::strand_begin(ps);
+  }
   try {
     frame->invoke_b(frame);
   } catch (...) {
     frame->eptr = std::current_exception();
   }
   Worker* w2 = Worker::current();
+  if (prof) {
+    // Publish b's totals in the frame BEFORE any arrival announcement: the
+    // release fetch_add below (or the victim's acquire load of arrivals)
+    // makes them visible to whoever resumes the continuation.
+    obs::ProfileState& ps = obs::current_profile();  // re-fetch: migration
+    obs::strand_end(ps);
+    frame->prof_work = ps.work;
+    frame->prof_span = ps.span;
+    frame->prof_burden = ps.burden;
+  }
   if (frame->arrivals.load(std::memory_order_acquire) == 1) {
     // The victim has already parked (its arrival is announced only after
     // its deposit and context save are complete). Merge its serially
     // earlier views on the left of ours and perform the joining steal —
     // resume the parked continuation on this worker, no deposit needed.
-    w2->merge_left(&frame->left_views);
+    if (prof) {
+      // Hypermerge burden on the thief path. The continuation resumes on
+      // THIS thread right below, so the post-publish store is still ordered
+      // before its read of prof_burden.
+      const std::uint64_t t0 = now_ns();
+      w2->merge_left(&frame->left_views);
+      frame->prof_burden += now_ns() - t0;
+    } else {
+      w2->merge_left(&frame->left_views);
+    }
     ++w2->stats_[StatCounter::kJoiningSteals];
     Tracer::instance().record(w2->id(), TraceEvent::kResumeByThief, frame);
     w2->pending_recycle_ = w2->current_fiber_;
@@ -110,13 +152,30 @@ void fiber_main(void* arg) {
   // Deposit our views on the right, THEN announce the arrival: the other
   // side must never observe a half-built deposit.
   Tracer::instance().record(w2->id(), TraceEvent::kDepositRight, frame);
-  w2->views().deposit_ambient(&frame->right_views);
+  if (prof) {
+    // View-transferal burden, charged before the arrival announcement so
+    // the victim's acquire observes the final value.
+    const std::uint64_t t0 = now_ns();
+    w2->views().deposit_ambient(&frame->right_views);
+    frame->prof_burden += now_ns() - t0;
+  } else {
+    w2->views().deposit_ambient(&frame->right_views);
+  }
   if (frame->arrivals.fetch_add(1, std::memory_order_acq_rel) == 1) {
     // The victim parked in the meantime and we arrived last: both deposits
     // exist and our ambient is empty. Reinstall the victim's (left) views,
     // merge our own deposit back on the right, and resume the continuation.
-    w2->views().install_deposit(&frame->left_views);
-    w2->merge_right(&frame->right_views);
+    if (prof) {
+      // Same-thread resume below, so this post-fetch_add burden store is
+      // still ordered before the continuation's read.
+      const std::uint64_t t0 = now_ns();
+      w2->views().install_deposit(&frame->left_views);
+      w2->merge_right(&frame->right_views);
+      frame->prof_burden += now_ns() - t0;
+    } else {
+      w2->views().install_deposit(&frame->left_views);
+      w2->merge_right(&frame->right_views);
+    }
     ++w2->stats_[StatCounter::kJoiningSteals];
     Tracer::instance().record(w2->id(), TraceEvent::kResumeByThief, frame);
     w2->pending_recycle_ = w2->current_fiber_;
@@ -146,17 +205,35 @@ void Worker::launch(SpawnFrame* frame_or_null_root) {
 
 void Worker::join_slow(SpawnFrame* frame) {
   Worker* w = Worker::current();
+  const bool prof = obs::profiler_enabled();
   if (frame->arrivals.load(std::memory_order_acquire) == 1) {
     // The thief has already deposited and left: merge its views on the
     // right of ours and carry on without parking.
-    w->merge_right(&frame->right_views);
+    if (prof) {
+      // Hypermerge burden on the victim path; the caller (fork2join's slow
+      // path, same thread) reads prof_burden_left right after we return.
+      const std::uint64_t t0 = now_ns();
+      w->merge_right(&frame->right_views);
+      frame->prof_burden_left += now_ns() - t0;
+    } else {
+      w->merge_right(&frame->right_views);
+    }
     return;
   }
   // Park: transfer our views (serially earlier than the thief's) into the
   // frame, suspend this fiber, and let the scheduler announce our arrival
   // once the context is fully saved.
   Tracer::instance().record(w->id(), TraceEvent::kDepositLeft, frame);
-  w->views().deposit_ambient(&frame->left_views);
+  if (prof) {
+    // View-transferal burden on the victim path, written before the park;
+    // the arrival announcement (scheduler loop, release fetch_add) orders
+    // it before a thief-side resume reads it.
+    const std::uint64_t t0 = now_ns();
+    w->views().deposit_ambient(&frame->left_views);
+    frame->prof_burden_left += now_ns() - t0;
+  } else {
+    w->views().deposit_ambient(&frame->left_views);
+  }
   Tracer::instance().record(w->id(), TraceEvent::kPark, frame);
   frame->parked_fiber = w->current_fiber_;
   w->pending_park_ = frame;
@@ -194,7 +271,9 @@ SpawnFrame* Worker::try_steal_round() {
                                     topo::Topology::Proximity::kRemote);
       ++stats_[local ? StatCounter::kLocalSteals : StatCounter::kRemoteSteals];
       stats_[StatCounter::kStolenFrames] += got;
-      stats_.record_steal(tier, now_ns() - attempt_start);
+      const std::uint64_t steal_lat = now_ns() - attempt_start;
+      stats_.record_steal(tier, steal_lat);
+      launch_burden_ns_ = steal_lat;  // burden seed if this frame launches
       if (got > 1) {
         // Steal-half tail: our deque is empty (we only steal when it is),
         // so a bulk push of the younger frames oldest-first preserves the
@@ -263,8 +342,17 @@ void Worker::scheduler_loop() {
         // The thief finished in the meantime: both deposits exist. Take our
         // own views back, merge the thief's on the right, and resume the
         // continuation ourselves.
-        views_.install_deposit(&frame->left_views);
-        merge_right(&frame->right_views);
+        if (obs::profiler_enabled()) {
+          // Reinstall + hypermerge burden on the victim path; the
+          // continuation resumes on this thread right below.
+          const std::uint64_t t0 = now_ns();
+          views_.install_deposit(&frame->left_views);
+          merge_right(&frame->right_views);
+          frame->prof_burden_left += now_ns() - t0;
+        } else {
+          views_.install_deposit(&frame->left_views);
+          merge_right(&frame->right_views);
+        }
         Tracer::instance().record(id_, TraceEvent::kResumeSelf, frame);
         current_fiber_ = frame->parked_fiber;
         tsan::switch_to(frame->parked_fiber->tsan_fiber);
@@ -285,6 +373,7 @@ void Worker::scheduler_loop() {
       // trace it separately so the steal rate reported for the paper's
       // figures (and total_steals()) measures genuine cross-worker traffic.
       ++stats_[StatCounter::kSelfPops];
+      launch_burden_ns_ = 0;  // no steal latency to burden a self-pop with
       Tracer::instance().record(id_, TraceEvent::kSelfPop, frame);
     } else {
       frame = try_steal_round();

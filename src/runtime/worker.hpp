@@ -99,6 +99,11 @@ class alignas(1024) Worker {
   SpawnFrame* pending_park_ = nullptr;
   SpawnFrame* launch_frame_ = nullptr;
 
+  /// Burden seed for the next launch (profiling only): the steal latency
+  /// that delivered the frame about to be launched, or 0 for a self-pop.
+  /// fiber_main charges it to the stolen branch's burdened span.
+  std::uint64_t launch_burden_ns_ = 0;
+
   // Steal-side state, on its own line(s): touched only while idle-stealing,
   // so steal rounds don't bounce the fiber-switch line above.
   alignas(kCacheLineSize) Xoshiro256 rng_;

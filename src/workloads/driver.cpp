@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -11,7 +12,11 @@
 
 #include "bench/harness.hpp"
 #include "mem/internal_alloc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/trace.hpp"
 #include "topo/placement.hpp"
 #include "topo/topology.hpp"
 #include "workloads/fuzzer.hpp"
@@ -26,11 +31,18 @@ constexpr const char* kUsage =
     "                 [--figure NAME|none] [--pin] [--placement spread|compact]\n"
     "                 [--wake-batch K] [--steal locality|uniform]\n"
     "                 [--steal-batch half|N]\n"
+    "                 [--profile] [--trace-out FILE] [--trace-csv FILE]\n"
     "                 [--fuzz] [--fuzz-seed X] [--fuzz-iters N]\n"
     "\n"
     "Runs registered workload cells (workload x policy x workers); every cell\n"
     "verifies itself against a serial reference. Exits nonzero if any cell\n"
     "fails verification. Writes BENCH_<figure>.json unless --figure none.\n"
+    "\n"
+    "Observability: --profile turns on the work/span profiler and adds one\n"
+    "profile:<workload>/<policy> row per cell (work_ns, span_ns, parallelism,\n"
+    "burdened_span_ns, burdened_parallelism). --trace-out writes the LAST\n"
+    "cell's scheduler events as Chrome/Perfetto trace JSON; --trace-csv dumps\n"
+    "the same rings as raw CSV.\n"
     "\n"
     "--fuzz runs the seed-replayable scenario fuzzer instead: --fuzz-iters\n"
     "composites (random monoid x shape x policy x workers x steal-batch) are\n"
@@ -179,6 +191,14 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
         }
         out->sched.steal_batch = static_cast<unsigned>(v);
       }
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      out->profile = true;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if (!need_value(i)) return false;
+      out->trace_out = argv[++i];
+    } else if (std::strcmp(arg, "--trace-csv") == 0) {
+      if (!need_value(i)) return false;
+      out->trace_csv = argv[++i];
     } else if (std::strcmp(arg, "--fuzz") == 0) {
       out->fuzz = true;
     } else if (std::strcmp(arg, "--fuzz-seed") == 0) {
@@ -297,9 +317,19 @@ int run_matrix(const DriverOptions& opts) {
     if (pool == nullptr) pool = std::make_unique<rt::Scheduler>(p, opts.sched);
   }
 
+  // Observability toggles for the whole sweep. Tracing is per cell (rings
+  // reset before each cell), so the exported artifact covers the LAST cell
+  // — run a single-cell matrix when the timeline itself is the point.
+  const bool tracing = !opts.trace_out.empty() || !opts.trace_csv.empty();
+  auto& tracer = rt::Tracer::instance();
+  auto& profiler = obs::Profiler::instance();
+  if (tracing) tracer.enable();
+  if (opts.profile) profiler.enable();
+
   std::printf("%-12s %-9s %3s %6s %12s %12s  %s\n", "workload", "policy", "P",
               "verify", "median_s", "stddev_s", "detail");
   int failures = 0;
+  obs::MetricsSnapshot last_cell;  // rides into the trace exporter's otherData
   for (const Workload* w : selected) {
     for (const PolicyKind policy : policies) {
       for (const unsigned p : workers) {
@@ -314,16 +344,20 @@ int run_matrix(const DriverOptions& opts) {
         // reps must not overwrite the diagnostic.
         RunResult shown;
         bool verified = true;
-        // Per-cell steal accounting: counters accumulate across reps on the
-        // shared pool, so reset here and aggregate once after the loop.
+        // Per-cell accounting: counters, rings, and profile totals all
+        // accumulate on shared process state, so reset here and snapshot
+        // once after the rep loop.
         pools[p]->reset_stats();
+        if (tracing) tracer.reset();
+        if (opts.profile) profiler.reset();
         for (int rep = 0; rep < opts.reps; ++rep) {
           RunResult result = w->run_policy(policy, cfg);
           samples.push_back(result.seconds);
           if (verified) shown = std::move(result);
           verified = verified && shown.verified;
         }
-        const WorkerStats cell_stats = pools[p]->aggregate_stats();
+        last_cell = obs::capture(pools[p].get());
+        const WorkerStats& cell_stats = last_cell.aggregate;
         const bench::RunStat stat = bench::stats_of(std::move(samples));
         if (!verified) ++failures;
 
@@ -348,6 +382,31 @@ int run_matrix(const DriverOptions& opts) {
                        {"steal_ns_t2",
                         static_cast<double>(cell_stats.steal_lat_ns[2])}});
         }
+        if (opts.profile) {
+          const obs::RunProfile prof = profiler.totals();
+          // Per-run means: the totals sum over reps, and each rep is one
+          // scheduler run recorded by the root-done hook.
+          const double runs = prof.runs == 0 ? 1.0
+                                             : static_cast<double>(prof.runs);
+          const double work_ns = static_cast<double>(prof.work_ns) / runs;
+          const double span_ns = static_cast<double>(prof.span_ns) / runs;
+          const double burdened_ns =
+              static_cast<double>(prof.burdened_span_ns) / runs;
+          std::printf("  profile: work %.3fms span %.3fms parallelism %.2f "
+                      "burdened-span %.3fms burdened-parallelism %.2f\n",
+                      work_ns / 1e6, span_ns / 1e6, prof.parallelism(),
+                      burdened_ns / 1e6, prof.burdened_parallelism());
+          if (report.has_value()) {
+            report->add("profile:" + w->name + "/" + policy_name(policy),
+                        static_cast<double>(p),
+                        {{"work_ns", work_ns},
+                         {"span_ns", span_ns},
+                         {"parallelism", prof.parallelism()},
+                         {"burdened_span_ns", burdened_ns},
+                         {"burdened_parallelism", prof.burdened_parallelism()},
+                         {"runs", static_cast<double>(prof.runs)}});
+          }
+        }
       }
     }
   }
@@ -355,11 +414,11 @@ int run_matrix(const DriverOptions& opts) {
     // Internal-allocator footprint of the sweep, one row per tag: peaks say
     // how much memory each layer (views, SPA pages, hypermap tables, fiber
     // headers, frames) actually needed; live says what is still held now.
-    auto& alloc = mem::InternalAlloc::instance();
-    alloc.stats_sync();  // fold this thread's in-magazine deltas in
+    // Snapshot through the metrics registry — same source the exporter sees.
+    const obs::MetricsSnapshot end = obs::capture(nullptr);
     for (std::size_t t = 0; t < mem::kNumTags; ++t) {
       const auto tag = static_cast<mem::AllocTag>(t);
-      const mem::TagStats ts = alloc.tag_stats(tag);
+      const mem::TagStats& ts = end.mem_tags[t];
       report->add(std::string("mem:") + mem::to_string(tag), 0.0,
                   {{"live_blocks", static_cast<double>(ts.live_blocks)},
                    {"peak_blocks", static_cast<double>(ts.peak_blocks)},
@@ -369,6 +428,39 @@ int run_matrix(const DriverOptions& opts) {
     }
     report->flush();
   }
+
+  if (tracing) {
+    tracer.disable();
+    if (tracer.dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: tracer dropped %llu event(s) (worker id beyond "
+                   "its %u rings)\n",
+                   static_cast<unsigned long long>(tracer.dropped()),
+                   rt::Tracer::kMaxWorkers);
+    }
+    if (!opts.trace_out.empty()) {
+      if (obs::export_chrome_trace_file(opts.trace_out, last_cell)) {
+        std::printf("# trace: wrote %s (load in Perfetto / chrome://tracing)\n",
+                    opts.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     opts.trace_out.c_str());
+        return failures == 0 ? 1 : failures;
+      }
+    }
+    if (!opts.trace_csv.empty()) {
+      std::ofstream csv(opts.trace_csv);
+      if (csv) {
+        tracer.dump_csv(csv);
+        std::printf("# trace: wrote %s\n", opts.trace_csv.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace CSV to %s\n",
+                     opts.trace_csv.c_str());
+        return failures == 0 ? 1 : failures;
+      }
+    }
+  }
+  if (opts.profile) profiler.disable();
 
   if (failures != 0) {
     std::fprintf(stderr, "%d cell(s) FAILED verification\n", failures);

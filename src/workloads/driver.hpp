@@ -34,6 +34,15 @@ struct DriverOptions {
   /// Topology knobs for the persistent pools run_matrix builds: --pin,
   /// --placement, --wake-batch, --steal.
   rt::SchedulerOptions sched;
+  /// --profile: enable the work/span profiler and report one
+  /// "profile:<workload>/<policy>" row per cell (work, span, parallelism,
+  /// burdened span/parallelism — see obs/profiler.hpp).
+  bool profile = false;
+  /// --trace-out FILE: enable the Tracer and export the LAST cell's event
+  /// rings as Chrome/Perfetto trace JSON (obs/trace_export.hpp).
+  std::string trace_out;
+  /// --trace-csv FILE: same rings, raw CSV (Tracer::dump_csv).
+  std::string trace_csv;
 };
 
 /// {1, 2, hardware_concurrency}, deduplicated and sorted.

@@ -8,6 +8,8 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -214,6 +216,76 @@ TEST(DriverMatrix, JsonWrittenWhenFigureRequested) {
   });
   ASSERT_EQ(files.size(), 1u);
   EXPECT_EQ(files.front(), "BENCH_drvtest.json");
+}
+
+TEST(DriverCli, ObservabilityFlagsParse) {
+  DriverOptions opts;
+  ASSERT_TRUE(parse({"--profile", "--trace-out", "t.json", "--trace-csv",
+                     "t.csv"},
+                    &opts));
+  EXPECT_TRUE(opts.profile);
+  EXPECT_EQ(opts.trace_out, "t.json");
+  EXPECT_EQ(opts.trace_csv, "t.csv");
+
+  // Defaults: everything off.
+  DriverOptions defaults;
+  ASSERT_TRUE(parse({}, &defaults));
+  EXPECT_FALSE(defaults.profile);
+  EXPECT_TRUE(defaults.trace_out.empty());
+  EXPECT_TRUE(defaults.trace_csv.empty());
+
+  DriverOptions opts2;
+  EXPECT_FALSE(parse({"--trace-out"}, &opts2));  // trailing, no value
+  DriverOptions opts3;
+  EXPECT_FALSE(parse({"--trace-csv"}, &opts3));
+}
+
+TEST(DriverMatrix, ProfileRowsEmittedInReport) {
+  bench_files_created_by([] {
+    DriverOptions opts = small_matrix();
+    opts.profile = true;
+    opts.figure = "proftest";
+    EXPECT_EQ(run_matrix(opts), 0);
+    std::ifstream in("BENCH_proftest.json");
+    ASSERT_TRUE(in.is_open());
+    const std::string json((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    // One profile row per cell, with the full work/span metric set.
+    EXPECT_NE(json.find("profile:sum_loop/mm"), std::string::npos);
+    for (const char* key :
+         {"\"work_ns\"", "\"span_ns\"", "\"parallelism\"",
+          "\"burdened_span_ns\"", "\"burdened_parallelism\"", "\"runs\""}) {
+      EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+    }
+  });
+}
+
+TEST(DriverMatrix, TraceOutWritesChromeTraceJson) {
+  bench_files_created_by([] {
+    DriverOptions opts = small_matrix();
+    opts.figure.clear();
+    opts.trace_out = "trace_test.json";
+    opts.trace_csv = "trace_test.csv";
+    EXPECT_EQ(run_matrix(opts), 0);
+
+    std::ifstream in("trace_test.json");
+    ASSERT_TRUE(in.is_open());
+    const std::string json((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(json.find("\"schema\":\"cilkm-trace-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("root_done"), std::string::npos);
+
+    std::ifstream csv_in("trace_test.csv");
+    ASSERT_TRUE(csv_in.is_open());
+    std::string header;
+    std::getline(csv_in, header);
+    EXPECT_EQ(header, "time_ns,worker,event,frame");
+    csv_in.close();
+    in.close();
+    unlink("trace_test.json");
+    unlink("trace_test.csv");
+  });
 }
 
 TEST(DriverMatrix, ListOnlyWritesNoJson) {

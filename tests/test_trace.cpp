@@ -116,4 +116,86 @@ TEST(TraceEventNames, AllNamed) {
   }
 }
 
+TEST_F(TraceTest, EventGrammarHoldsUnderLoad) {
+  cilkm::run(4, [&] {
+    cilkm::parallel_for(0, 4000, 8, [&](std::int64_t i) {
+      if (i % 32 == 0) std::this_thread::yield();
+    });
+  });
+  const auto records = Tracer::instance().snapshot();
+  ASSERT_FALSE(records.empty());
+
+  // Every steal or self-pop is immediately followed, on the same worker, by
+  // the launch of the promoted frame — nothing is recorded in between.
+  std::map<unsigned, TraceEvent> last_event;
+  std::map<unsigned, std::uint64_t> last_time;
+  std::map<const void*, int> park_balance;
+  for (const auto& rec : records) {
+    const auto it = last_event.find(rec.worker);
+    if (it != last_event.end() && (it->second == TraceEvent::kSteal ||
+                                   it->second == TraceEvent::kSelfPop)) {
+      EXPECT_EQ(rec.event, TraceEvent::kLaunch)
+          << "worker " << static_cast<unsigned>(rec.worker) << ": "
+          << cilkm::rt::to_string(it->second) << " followed by "
+          << cilkm::rt::to_string(rec.event);
+    }
+    // Per-worker timestamps never go backwards (each ring is written by one
+    // thread reading a monotonic clock).
+    const auto lt = last_time.find(rec.worker);
+    if (lt != last_time.end()) EXPECT_GE(rec.time_ns, lt->second);
+    last_event[rec.worker] = rec.event;
+    last_time[rec.worker] = rec.time_ns;
+
+    if (rec.event == TraceEvent::kPark) ++park_balance[rec.frame];
+    if (rec.event == TraceEvent::kResumeByThief ||
+        rec.event == TraceEvent::kResumeSelf) {
+      --park_balance[rec.frame];
+    }
+  }
+  // kPark pairs with exactly one resume per frame (parks land on the
+  // victim's worker, resumes on whoever arrived last — balance is global
+  // per frame, not per worker).
+  for (const auto& [frame, balance] : park_balance) {
+    EXPECT_EQ(balance, 0) << "frame " << frame;
+  }
+}
+
+TEST_F(TraceTest, RingOverflowKeepsNewestInOrder) {
+  // Regression: on a wrapped ring, snapshot() must return exactly the last
+  // kRingCapacity records, oldest retained entry first — not a stream that
+  // starts mid-ring at index 0 of the buffer.
+  constexpr std::uint64_t kExtra = 100;
+  auto& tracer = Tracer::instance();
+  for (std::uint64_t i = 0; i < Tracer::kRingCapacity + kExtra; ++i) {
+    tracer.record(0, TraceEvent::kMerge,
+                  reinterpret_cast<const void*>(static_cast<std::uintptr_t>(i)));
+  }
+  const auto records = tracer.snapshot();
+  ASSERT_EQ(records.size(), Tracer::kRingCapacity);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].frame,
+              reinterpret_cast<const void*>(
+                  static_cast<std::uintptr_t>(kExtra + i)))
+        << "at snapshot index " << i;
+  }
+}
+
+TEST_F(TraceTest, EventsBeyondMaxWorkersAreCountedNotSilentlyDropped) {
+  auto& tracer = Tracer::instance();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.record(Tracer::kMaxWorkers, TraceEvent::kSteal, nullptr);
+  tracer.record(Tracer::kMaxWorkers + 7, TraceEvent::kPark, nullptr);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_TRUE(tracer.snapshot().empty());  // nothing retained for them
+  tracer.record(0, TraceEvent::kMerge, nullptr);  // in-range still records
+  EXPECT_EQ(tracer.snapshot().size(), 1u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  tracer.reset();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Disabled tracers count nothing.
+  tracer.disable();
+  tracer.record(Tracer::kMaxWorkers, TraceEvent::kSteal, nullptr);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
 }  // namespace
