@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <new>
+
+#include "chaos/chaos.hpp"
 
 namespace cilkm::mem {
 
@@ -120,6 +123,14 @@ InternalAlloc::FreeNode* InternalAlloc::carve_chunk(AllocTag tag, int cls) {
 }
 
 void InternalAlloc::refill(Magazine& mag, AllocTag tag, int cls) {
+  // Chaos fail-point: the magazine-refill edge is where a real allocator
+  // first observes memory pressure, so an injected fault throws the same
+  // std::bad_alloc a failed carve_chunk would. It unwinds through the user
+  // strand into the SpawnFrame::eptr join protocol (fork2join completes the
+  // join before rethrowing, so the pool stays consistent) and surfaces at
+  // Scheduler::run. Protocol-section refills are suppressed (SuppressFaults)
+  // and non-worker threads are never injected — see chaos.hpp.
+  if (chaos::should_fail(chaos::Site::kAllocRefill)) throw std::bad_alloc{};
   const auto t = static_cast<std::size_t>(tag);
   const auto c = static_cast<std::size_t>(cls);
   reconcile(mag, tag);  // batch-exchange point: fold the stat deltas in
@@ -229,18 +240,27 @@ void* InternalAlloc::allocate(std::size_t bytes, AllocTag tag, Magazine* mag) {
   const auto t = static_cast<std::size_t>(tag);
   const int cls = size_class(bytes);
   if (cls < 0) {
-    // Fall through to operator new, but stay tag-counted so the leak check
-    // and the mem: stats cover oversize blocks too.
+    // Oversize: operator new FIRST (it may throw — real OOM or a test
+    // double), then count; the stats must never record an allocation that
+    // never happened. Tag-counted so the leak check and the mem: stats
+    // cover oversize blocks too.
+    void* p = ::operator new(bytes);
     note_alloc(counters_[t], bytes);
-    return ::operator new(bytes);
+    return p;
   }
   if (mag == nullptr) {
+    void* p = allocate_from_shard(tag, cls);  // may throw (carve_chunk OOM)
     note_alloc(counters_[t], kClassSizes[static_cast<std::size_t>(cls)]);
-    return allocate_from_shard(tag, cls);
+    return p;
   }
   CILKM_DCHECK(mag->owner == nullptr || mag->owner == this,
                "magazine used with two allocators");
   mag->owner = this;
+  // Refill before the pending-delta stores: a refill may throw (carve_chunk
+  // OOM, or an injected chaos fault), and the deltas must stay exception-
+  // consistent.
+  const auto c = static_cast<std::size_t>(cls);
+  if (mag->head[t][c] == nullptr) refill(*mag, tag, cls);
   // Plain stores into the magazine's pending deltas: the hot path touches
   // no shared cache line (reconciled at the next batch exchange).
   Magazine::Pending& pend = mag->pending[t];
@@ -248,8 +268,6 @@ void* InternalAlloc::allocate(std::size_t bytes, AllocTag tag, Magazine* mag) {
   ++pend.blocks;
   pend.bytes += static_cast<std::int64_t>(
       kClassSizes[static_cast<std::size_t>(cls)]);
-  const auto c = static_cast<std::size_t>(cls);
-  if (mag->head[t][c] == nullptr) refill(*mag, tag, cls);
   FreeNode* node = mag->head[t][c];
   mag->head[t][c] = node->next;
   --mag->count[t][c];

@@ -21,6 +21,9 @@ MetricsSnapshot capture(rt::Scheduler* sched) {
     snap.mem_tags[t] = alloc.tag_stats(static_cast<mem::AllocTag>(t));
   }
   snap.trace_dropped = rt::Tracer::instance().dropped();
+  for (unsigned s = 0; s < chaos::kNumSites; ++s) {
+    snap.chaos_sites[s] = chaos::site_stats(static_cast<chaos::Site>(s));
+  }
   return snap;
 }
 
@@ -57,6 +60,15 @@ std::vector<Metric> MetricsSnapshot::flatten() const {
     out.push_back({prefix + "flushes", static_cast<double>(ts.flushes)});
     out.push_back(
         {prefix + "carved_blocks", static_cast<double>(ts.carved_blocks)});
+  }
+  for (unsigned s = 0; s < chaos::kNumSites; ++s) {
+    const std::string prefix =
+        std::string("chaos.") + chaos::to_string(static_cast<chaos::Site>(s)) +
+        ".";
+    out.push_back(
+        {prefix + "consults", static_cast<double>(chaos_sites[s].consults)});
+    out.push_back(
+        {prefix + "injected", static_cast<double>(chaos_sites[s].injected)});
   }
   out.push_back({"trace_dropped_records", static_cast<double>(trace_dropped)});
   return out;

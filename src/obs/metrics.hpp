@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "mem/internal_alloc.hpp"
 #include "util/stats.hpp"
 
@@ -46,9 +47,13 @@ struct MetricsSnapshot {
   /// Events the tracer had to discard (worker id beyond its ring table).
   std::uint64_t trace_dropped = 0;
 
+  /// Fault-injection activity per chaos site (all zero when disarmed).
+  std::array<chaos::SiteStats, chaos::kNumSites> chaos_sites{};
+
   /// Flatten to stable names: every StatCounter under its to_string() name,
   /// steal tiers as steal_ns_t<t> / steal_count_t<t> / steal_hist_t<t>_b<b>,
-  /// allocator tags as mem.<tag>.<field>, plus workers and
+  /// allocator tags as mem.<tag>.<field>, chaos sites as
+  /// chaos.<site>.consults / chaos.<site>.injected, plus workers and
   /// trace_dropped_records.
   std::vector<Metric> flatten() const;
 };

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "obs/profiler.hpp"
 #include "runtime/frame.hpp"
 #include "runtime/scheduler.hpp"
@@ -60,117 +61,131 @@ void fork2join(A&& a, B&& b) {
     sv_span = ps.span;
     sv_burden = ps.burden;
   }
-  if (w == nullptr) {
-    // Outside the scheduler: plain serial execution (the serial elision),
-    // advancing the pedigree through the identical spawn/sync transitions.
-    ped = {&child_node, 0};
+  if (w != nullptr && !w->serial_spawns()) {
+    rt::SpawnFrameT<std::remove_reference_t<B>> frame(&b);
+    // The pedigree snapshot must be complete before the push: a thief may
+    // promote the frame (and read these fields) immediately.
+    frame.ped_parent = spawn_parent;
+    frame.ped_rank = spawn_rank;
     if (prof) {
-      obs::ProfileState& ps = obs::current_profile();
-      ps = {};
-      obs::strand_begin(ps);
+      // Like the pedigree: the profiler slots must be valid before the push.
+      // The thief overwrites prof_work/span/burden, but prof_burden_left only
+      // ever accumulates victim-side protocol costs.
+      frame.prof_work = 0;
+      frame.prof_span = 0;
+      frame.prof_burden = 0;
+      frame.prof_burden_left = 0;
     }
-    a();
-    rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
-    if (prof) {
-      obs::ProfileState& ps = obs::current_profile();
-      obs::strand_end(ps);
-      a_work = ps.work;
-      a_span = ps.span;
-      a_burden = ps.burden;
-      ps = {};
-      obs::strand_begin(ps);
+    // An injected push fault or a genuinely full deque both land on the
+    // serial tail below: the child runs in place, exactly as in the serial
+    // elision, and the process survives what used to be a capacity abort.
+    if (!chaos::should_fail(chaos::Site::kDequePush) &&
+        w->deque().push(&frame)) {
+      ped = {&child_node, 0};
+      if (prof) {
+        obs::ProfileState& ps = obs::current_profile();
+        ps = {};
+        obs::strand_begin(ps);
+      }
+      std::exception_ptr a_eptr;
+      try {
+        a();
+      } catch (...) {
+        a_eptr = std::current_exception();
+      }
+      // `w` (and the thread-local pedigree slot) may be stale if a() itself
+      // migrated at an inner join; re-fetch both.
+      rt::Worker* w2 = rt::Worker::current();
+      if (prof) {
+        obs::ProfileState& ps = obs::current_profile();
+        obs::strand_end(ps);
+        a_work = ps.work;
+        a_span = ps.span;
+        a_burden = ps.burden;
+      }
+      rt::SpawnFrame* popped = w2->deque().take_if(&frame);
+      if (popped == &frame) {
+        // Fast path: not stolen. Mirrors serial execution; no view
+        // operations.
+        rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
+        if (a_eptr) std::rethrow_exception(a_eptr);
+        if (prof) {
+          obs::ProfileState& ps = obs::current_profile();
+          ps = {};
+          obs::strand_begin(ps);
+        }
+        b();
+        rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
+        if (prof) {
+          obs::ProfileState& ps = obs::current_profile();
+          obs::strand_end(ps);
+          ps.work = sv_work + a_work + ps.work;
+          ps.span = sv_span + std::max(a_span, ps.span);
+          ps.burden = sv_burden + std::max(a_burden, ps.burden);
+          obs::strand_begin(ps);
+        }
+        return;
+      }
+      // Slow path: the continuation was (or is being) stolen. b runs (or
+      // ran) on the thief at rank r+1 (fiber_main seats it from the frame).
+      rt::Worker::join_slow(&frame);
+      if (prof) {
+        // Both branches have arrived: the thief published b's totals in the
+        // frame (before its release arrival, so they are visible here), and
+        // every victim-side protocol cost landed in prof_burden_left. This
+        // thread may not be the one that ran a() — re-fetch the slot.
+        obs::ProfileState& ps = obs::current_profile();
+        ps.work = sv_work + a_work + frame.prof_work;
+        ps.span = sv_span + std::max(a_span, frame.prof_span);
+        ps.burden =
+            sv_burden + std::max(a_burden + frame.prof_burden_left,
+                                 frame.prof_burden);
+        obs::strand_begin(ps);
+      }
+      rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
+      if (a_eptr) std::rethrow_exception(a_eptr);
+      // Rethrow-and-clear: this frame's storage is recycled through the
+      // tagged allocator, and a stale exception_ptr must never survive into
+      // the next activation that lands on the same bytes.
+      if (frame.eptr) {
+        std::rethrow_exception(std::exchange(frame.eptr, nullptr));
+      }
+      return;
     }
-    b();
-    rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
-    if (prof) {
-      obs::ProfileState& ps = obs::current_profile();
-      obs::strand_end(ps);
-      ps.work = sv_work + a_work + ps.work;
-      ps.span = sv_span + std::max(a_span, ps.span);
-      ps.burden = sv_burden + std::max(a_burden, ps.burden);
-      obs::strand_begin(ps);
-    }
-    return;
+    ++w->stats()[StatCounter::kSerialDegrades];
   }
-  rt::SpawnFrameT<std::remove_reference_t<B>> frame(&b);
-  // The pedigree snapshot must be complete before the push: a thief may
-  // promote the frame (and read these fields) immediately.
-  frame.ped_parent = spawn_parent;
-  frame.ped_rank = spawn_rank;
-  if (prof) {
-    // Like the pedigree: the profiler slots must be valid before the push.
-    // The thief overwrites prof_work/span/burden, but prof_burden_left only
-    // ever accumulates victim-side protocol costs.
-    frame.prof_work = 0;
-    frame.prof_span = 0;
-    frame.prof_burden = 0;
-    frame.prof_burden_left = 0;
-  }
-  w->deque().push(&frame);
-
+  // Serial execution in place, advancing the pedigree through the identical
+  // spawn/sync transitions. Three callers share this tail: the serial
+  // elision (no scheduler), a degraded (fiber-less) frame whose worker
+  // forces nested spawns serial, and a spawn whose push was refused (deque
+  // full or injected chaos fault).
   ped = {&child_node, 0};
   if (prof) {
     obs::ProfileState& ps = obs::current_profile();
     ps = {};
     obs::strand_begin(ps);
   }
-  std::exception_ptr a_eptr;
-  try {
-    a();
-  } catch (...) {
-    a_eptr = std::current_exception();
-  }
-  // `w` (and the thread-local pedigree slot) may be stale if a() itself
-  // migrated at an inner join; re-fetch both.
-  rt::Worker* w2 = rt::Worker::current();
+  a();
+  rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
   if (prof) {
     obs::ProfileState& ps = obs::current_profile();
     obs::strand_end(ps);
     a_work = ps.work;
     a_span = ps.span;
     a_burden = ps.burden;
-  }
-  rt::SpawnFrame* popped = w2->deque().take_if(&frame);
-  if (popped == &frame) {
-    // Fast path: not stolen. Mirrors serial execution; no view operations.
-    rt::current_pedigree() = {spawn_parent, spawn_rank + 1};
-    if (a_eptr) std::rethrow_exception(a_eptr);
-    if (prof) {
-      obs::ProfileState& ps = obs::current_profile();
-      ps = {};
-      obs::strand_begin(ps);
-    }
-    b();
-    rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
-    if (prof) {
-      obs::ProfileState& ps = obs::current_profile();
-      obs::strand_end(ps);
-      ps.work = sv_work + a_work + ps.work;
-      ps.span = sv_span + std::max(a_span, ps.span);
-      ps.burden = sv_burden + std::max(a_burden, ps.burden);
-      obs::strand_begin(ps);
-    }
-    return;
-  }
-  // Slow path: the continuation was (or is being) stolen. b runs (or ran)
-  // on the thief at rank r+1 (fiber_main seats it from the frame).
-  rt::Worker::join_slow(&frame);
-  if (prof) {
-    // Both branches have arrived: the thief published b's totals in the
-    // frame (before its release arrival, so they are visible here), and
-    // every victim-side protocol cost landed in prof_burden_left. This
-    // thread may not be the one that ran a() — re-fetch the slot.
-    obs::ProfileState& ps = obs::current_profile();
-    ps.work = sv_work + a_work + frame.prof_work;
-    ps.span = sv_span + std::max(a_span, frame.prof_span);
-    ps.burden =
-        sv_burden + std::max(a_burden + frame.prof_burden_left,
-                             frame.prof_burden);
+    ps = {};
     obs::strand_begin(ps);
   }
+  b();
   rt::current_pedigree() = {spawn_parent, spawn_rank + 2};
-  if (a_eptr) std::rethrow_exception(a_eptr);
-  if (frame.eptr) std::rethrow_exception(frame.eptr);
+  if (prof) {
+    obs::ProfileState& ps = obs::current_profile();
+    obs::strand_end(ps);
+    ps.work = sv_work + a_work + ps.work;
+    ps.span = sv_span + std::max(a_span, ps.span);
+    ps.burden = sv_burden + std::max(a_burden, ps.burden);
+    obs::strand_begin(ps);
+  }
 }
 
 /// Run all invocables, allowing them to execute in parallel; serial order is

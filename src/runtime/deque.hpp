@@ -79,12 +79,14 @@ class Deque {
     batch_counter_ = batch_counter;
   }
 
-  /// Owner only.
-  void push(SpawnFrame* frame) noexcept {
+  /// Owner only. Returns false — deque untouched, no wake fired — when the
+  /// deque is full (spawn depth beyond kCapacity); fork2join then degrades
+  /// to executing the child serially in place instead of aborting, so one
+  /// pathological spawn burst cannot kill the process.
+  bool push(SpawnFrame* frame) noexcept {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
-    CILKM_CHECK(b - t < static_cast<std::int64_t>(kCapacity),
-                "deque overflow: spawn depth exceeds capacity");
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
     buffer_[static_cast<std::size_t>(b) & kMask].store(
         frame, std::memory_order_relaxed);
     bottom_.store(b + 1, std::memory_order_release);
@@ -104,6 +106,7 @@ class Deque {
       *wake_counter_ += woken;
       if (woken > 1) *batch_counter_ += woken - 1;
     }
+    return true;
   }
 
   /// Owner only: publish `n` frames (frames[0] oldest, i.e. stolen first)

@@ -1,10 +1,15 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
 #include <numeric>
 #include <utility>
 
 #include "mem/internal_alloc.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/trace.hpp"
 #include "tlmm/region.hpp"
 #include "topo/topology.hpp"
 #include "util/assert.hpp"
@@ -14,6 +19,8 @@ namespace cilkm::rt {
 Scheduler::Scheduler(unsigned num_workers, SchedulerOptions options)
     : options_(options), parking_(num_workers) {
   CILKM_CHECK(num_workers >= 1, "need at least one worker");
+  // Every runtime-linked binary gets worker/pedigree context on aborts.
+  install_assert_context();
   if (options_.wake_batch < 1) options_.wake_batch = 1;
   if (options_.wake_batch > ParkingLot::kMaxBatch) {
     options_.wake_batch = ParkingLot::kMaxBatch;
@@ -189,7 +196,28 @@ void Scheduler::run(std::function<void()> root) {
   std::exception_ptr eptr;
   {
     std::unique_lock<std::mutex> lock(lifecycle_mu_);
-    quiesce_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    const auto quiesced = [&] { return active_workers_ == 0; };
+    if (options_.watchdog_ms == 0) {
+      quiesce_cv_.wait(lock, quiesced);
+    } else {
+      // Watchdog: while the run is in flight, a full window in which no
+      // worker's progress tick advanced is a stalled epoch — dump the
+      // observable state and abort rather than hang forever. progress_sum()
+      // reads only atomics, so taking it while holding lifecycle_mu_ is
+      // safe (workers never touch that mutex mid-run).
+      std::uint64_t last = progress_sum();
+      while (!quiesce_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.watchdog_ms), quiesced)) {
+        const std::uint64_t now = progress_sum();
+        if (now == last) {
+          dump_stall_diagnostics();
+          CILKM_CHECK(false,
+                      "run watchdog: no scheduling progress within the stall "
+                      "window");
+        }
+        last = now;
+      }
+    }
     running_ = false;
     root_fn_ = nullptr;
     // Take the exception out under the lock: once running_ drops, another
@@ -197,6 +225,30 @@ void Scheduler::run(std::function<void()> root) {
     eptr = std::exchange(root_eptr_, nullptr);
   }
   if (eptr != nullptr) std::rethrow_exception(eptr);
+}
+
+std::uint64_t Scheduler::progress_sum() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& worker : workers_) sum += worker->progress();
+  return sum;
+}
+
+void Scheduler::dump_stall_diagnostics() {
+  std::fprintf(stderr,
+               "cilkm: run watchdog fired (no scheduling progress for %u ms); "
+               "dumping state\n",
+               options_.watchdog_ms);
+  // The pool is NOT quiesced here, so the snapshot's values are racy
+  // best-effort reads — acceptable for a post-mortem that precedes abort.
+  const obs::MetricsSnapshot snap = obs::capture(this);
+  for (const obs::Metric& m : snap.flatten()) {
+    std::fprintf(stderr, "  %s = %.17g\n", m.name.c_str(), m.value);
+  }
+  if (Tracer::instance().enabled()) {
+    std::fprintf(stderr, "-- tracer rings --\n");
+    Tracer::instance().dump_csv(std::cerr);
+  }
+  std::fflush(stderr);
 }
 
 WorkerStats Scheduler::aggregate_stats() const {

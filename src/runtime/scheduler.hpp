@@ -52,6 +52,15 @@ struct SchedulerOptions {
   /// 1 restores classic single-frame Chase–Lev stealing; other values are
   /// clamped to [1, Deque::kMaxStealBatch] at Scheduler construction.
   unsigned steal_batch = 0;
+
+  /// Run watchdog: if > 0, run() checks every watchdog_ms milliseconds that
+  /// some worker made scheduling progress (launch, degraded run, or join
+  /// resumption); a window with no progress and no quiescence dumps a
+  /// metrics snapshot plus the tracer rings to stderr and aborts. 0 (the
+  /// default) disables the watchdog. Note: a single strand that legitimately
+  /// computes for longer than the window without spawning looks like a
+  /// stall — size the window to the workload's longest serial stretch.
+  unsigned watchdog_ms = 0;
 };
 
 class Scheduler {
@@ -134,6 +143,13 @@ class Scheduler {
   /// True iff any worker's deque holds a stealable frame. Used by the park
   /// protocol's post-registration re-check.
   bool work_available() const noexcept;
+
+  /// Sum of all workers' progress ticks (relaxed; watchdog heartbeat).
+  std::uint64_t progress_sum() const noexcept;
+
+  /// Stalled-epoch post-mortem: dump an obs::capture metrics snapshot and
+  /// the per-worker tracer rings to stderr before the watchdog aborts.
+  void dump_stall_diagnostics();
 
   SchedulerOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -2,7 +2,10 @@
 
 #include <sys/mman.h>
 
+#include <chrono>
 #include <mutex>
+#include <new>
+#include <thread>
 
 #include "mem/internal_alloc.hpp"
 #include "runtime/sanitizer.hpp"
@@ -40,11 +43,24 @@ Fiber* StackPool::allocate_fresh() {
   const std::size_t size = kDefaultStackBytes;
   void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-  CILKM_CHECK(p != MAP_FAILED, "fiber stack mmap failed");
+  // Exhaustion (vm.max_map_count, overcommit limits, address space) is a
+  // load condition, not a bug: report it as nullptr and let acquire()'s
+  // backoff — and ultimately the worker's serial-degradation path — absorb
+  // it instead of aborting the process.
+  if (p == MAP_FAILED) return nullptr;
   // Guard page at the low end (stacks grow downward).
-  CILKM_CHECK(::mprotect(p, 4096, PROT_NONE) == 0, "guard mprotect failed");
-  auto* fiber = mem::InternalAlloc::instance().create<Fiber>(
-      mem::AllocTag::kFiberStacks);
+  if (::mprotect(p, 4096, PROT_NONE) != 0) {
+    ::munmap(p, size);
+    return nullptr;
+  }
+  Fiber* fiber = nullptr;
+  try {
+    fiber = mem::InternalAlloc::instance().create<Fiber>(
+        mem::AllocTag::kFiberStacks);
+  } catch (const std::bad_alloc&) {
+    ::munmap(p, size);
+    return nullptr;
+  }
   fiber->alloc_base = static_cast<std::byte*>(p);
   fiber->alloc_size = size;
   fiber->stack_top = fiber->alloc_base + size;
@@ -82,8 +98,28 @@ Fiber* StackPool::acquire(LocalFiberCache* local) {
       return fiber;
     }
   }
-  created_.fetch_add(1, std::memory_order_relaxed);
-  return allocate_fresh();
+  // Nothing pooled: allocate fresh, retrying transient exhaustion with a
+  // capped exponential backoff (1/2/4 ms). Another worker may release a
+  // fiber meanwhile, so the shard is re-probed between attempts. nullptr
+  // after the final attempt; Worker::launch then degrades to running the
+  // frame on its own stack.
+  for (unsigned attempt = 0;; ++attempt) {
+    Fiber* fiber = allocate_fresh();
+    if (fiber != nullptr) {
+      created_.fetch_add(1, std::memory_order_relaxed);
+      return fiber;
+    }
+    if (attempt >= kAcquireRetries) return nullptr;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1L << attempt));
+    std::lock_guard guard(s.lock);
+    if (s.head != nullptr) {
+      Fiber* recycled = s.head;
+      s.head = recycled->next;
+      recycled->next = nullptr;
+      --s.count;
+      return recycled;
+    }
+  }
 }
 
 void StackPool::release(Fiber* fiber, LocalFiberCache* local) {

@@ -52,6 +52,11 @@ class StackPool {
   /// destroyed (munmap + header free) instead of pooled.
   static constexpr std::size_t kMaxCachedPerNode = 32;
 
+  /// Extra allocate_fresh attempts acquire() makes when stack memory is
+  /// exhausted, with exponential backoff (1/2/4 ms) and a shard re-probe
+  /// between attempts.
+  static constexpr unsigned kAcquireRetries = 3;
+
   static StackPool& instance();
 
   explicit StackPool(const topo::Topology* topology = nullptr,
@@ -64,6 +69,9 @@ class StackPool {
   /// Get a fiber with a fresh (or recycled) stack. The first (lowest) page is
   /// PROT_NONE so runaway recursion faults instead of corrupting memory.
   /// With `local`, the worker's cache is tried before the node shard.
+  /// Returns nullptr when stack memory is exhausted (mmap/mprotect/header
+  /// failure) even after kAcquireRetries backed-off retries; the caller
+  /// degrades instead of aborting.
   Fiber* acquire(LocalFiberCache* local = nullptr);
   void release(Fiber* fiber, LocalFiberCache* local = nullptr);
 

@@ -1,8 +1,10 @@
 #include "runtime/worker.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 
+#include "chaos/chaos.hpp"
 #include "obs/profiler.hpp"
 #include "runtime/sanitizer.hpp"
 #include "runtime/scheduler.hpp"
@@ -34,11 +36,18 @@ Worker::~Worker() {
 // ---------------------------------------------------------------------------
 
 void Worker::merge_left(ViewSetDeposit* in) {
+  // Merges allocate (monoid combines, table growth) inside the join
+  // protocol, outside any SpawnFrame::eptr catch: injected allocator faults
+  // are suppressed here, injected protocol delays are not.
+  chaos::SuppressFaults suppress;
+  chaos::maybe_delay(chaos::Site::kMergeDelay);
   Tracer::instance().record(id_, TraceEvent::kMerge, in);
   views_.merge_deposit_left(in);
 }
 
 void Worker::merge_right(ViewSetDeposit* in) {
+  chaos::SuppressFaults suppress;
+  chaos::maybe_delay(chaos::Site::kMergeDelay);
   Tracer::instance().record(id_, TraceEvent::kMerge, in);
   views_.merge_deposit_right(in);
 }
@@ -152,29 +161,40 @@ void fiber_main(void* arg) {
   // Deposit our views on the right, THEN announce the arrival: the other
   // side must never observe a half-built deposit.
   Tracer::instance().record(w2->id(), TraceEvent::kDepositRight, frame);
-  if (prof) {
-    // View-transferal burden, charged before the arrival announcement so
-    // the victim's acquire observes the final value.
-    const std::uint64_t t0 = now_ns();
-    w2->views().deposit_ambient(&frame->right_views);
-    frame->prof_burden += now_ns() - t0;
-  } else {
-    w2->views().deposit_ambient(&frame->right_views);
+  {
+    // Scoped (not function-wide) suppression: this fiber never returns, so
+    // an open SuppressFaults across a context switch would leak the
+    // thread-local count and mute injection on this worker forever.
+    chaos::SuppressFaults suppress;
+    chaos::maybe_delay(chaos::Site::kDepositDelay);
+    if (prof) {
+      // View-transferal burden, charged before the arrival announcement so
+      // the victim's acquire observes the final value.
+      const std::uint64_t t0 = now_ns();
+      w2->views().deposit_ambient(&frame->right_views);
+      frame->prof_burden += now_ns() - t0;
+    } else {
+      w2->views().deposit_ambient(&frame->right_views);
+    }
   }
   if (frame->arrivals.fetch_add(1, std::memory_order_acq_rel) == 1) {
     // The victim parked in the meantime and we arrived last: both deposits
     // exist and our ambient is empty. Reinstall the victim's (left) views,
     // merge our own deposit back on the right, and resume the continuation.
-    if (prof) {
-      // Same-thread resume below, so this post-fetch_add burden store is
-      // still ordered before the continuation's read.
-      const std::uint64_t t0 = now_ns();
-      w2->views().install_deposit(&frame->left_views);
-      w2->merge_right(&frame->right_views);
-      frame->prof_burden += now_ns() - t0;
-    } else {
-      w2->views().install_deposit(&frame->left_views);
-      w2->merge_right(&frame->right_views);
+    {
+      chaos::SuppressFaults suppress;
+      chaos::maybe_delay(chaos::Site::kInstallDelay);
+      if (prof) {
+        // Same-thread resume below, so this post-fetch_add burden store is
+        // still ordered before the continuation's read.
+        const std::uint64_t t0 = now_ns();
+        w2->views().install_deposit(&frame->left_views);
+        w2->merge_right(&frame->right_views);
+        frame->prof_burden += now_ns() - t0;
+      } else {
+        w2->views().install_deposit(&frame->left_views);
+        w2->merge_right(&frame->right_views);
+      }
     }
     ++w2->stats_[StatCounter::kJoiningSteals];
     Tracer::instance().record(w2->id(), TraceEvent::kResumeByThief, frame);
@@ -193,14 +213,149 @@ void fiber_main(void* arg) {
 }
 
 void Worker::launch(SpawnFrame* frame_or_null_root) {
-  Fiber* fiber = StackPool::instance().acquire(&fiber_cache_);
+  progress_.fetch_add(1, std::memory_order_relaxed);
   Tracer::instance().record(id_, TraceEvent::kLaunch, frame_or_null_root);
+  Fiber* fiber = nullptr;
+  // The fiber consult is keyed on the frame's pedigree SNAPSHOT, not this
+  // thread's pedigree slot: on the scheduler context the slot may reference
+  // chain nodes on stacks that are already recycled, and the snapshot is
+  // what makes the decision schedule-independent (the frame's identity,
+  // not who launches it).
+  const PedigreeState frame_ped =
+      frame_or_null_root != nullptr
+          ? PedigreeState{frame_or_null_root->ped_parent,
+                          frame_or_null_root->ped_rank}
+          : PedigreeState{};
+  if (!chaos::should_fail(chaos::Site::kFiberAcquire, frame_ped)) {
+    // The fiber-header allocation goes through the internal allocator;
+    // suppress injected refill faults for it (a throw here would escape
+    // into the scheduler loop). Real exhaustion returns nullptr instead.
+    chaos::SuppressFaults suppress;
+    fiber = StackPool::instance().acquire(&fiber_cache_);
+  }
+  if (fiber == nullptr) {
+    // Out of fiber stacks (or an injected fault said so): run the frame on
+    // this OS thread's own stack instead of aborting.
+    ++stats_[StatCounter::kFiberFallbacks];
+    run_degraded(frame_or_null_root);
+    return;
+  }
   ++stats_[StatCounter::kFibersAllocated];
   launch_frame_ = frame_or_null_root;
   current_fiber_ = fiber;
   tsan::switch_to(fiber->tsan_fiber);
   cilkm_ctx_start(&sched_ctx_, fiber->stack_top, &fiber_main, fiber);
   // Control returns here when the fiber parks or finishes.
+}
+
+/// The fiber-less twin of fiber_main: same pedigree seating, same profiler
+/// publication, same join protocol — but executed as an ordinary call on
+/// the scheduler stack, with serial_mode_ forcing every nested fork2join
+/// onto its serial-inline path so nothing below can push, park, or migrate.
+/// The two resume branches context-switch into the parked continuation
+/// exactly as the scheduler loop's kResumeSelf path does; control returns
+/// here when some fiber on this thread next yields to the scheduler
+/// context, and the loop's drain_pending picks up whatever that fiber left.
+void Worker::run_degraded(SpawnFrame* frame) {
+  serial_mode_ = true;
+  const bool prof = obs::profiler_enabled();
+  if (frame == nullptr) {
+    // Degraded root: the entire run executes serially on this thread.
+    current_pedigree() = PedigreeState{};
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();
+      ps = {};
+      obs::strand_begin(ps);
+    }
+    try {
+      sched_->root_fn_();
+    } catch (...) {
+      sched_->root_eptr_ = std::current_exception();
+    }
+    serial_mode_ = false;
+    if (prof) {
+      obs::ProfileState& ps = obs::current_profile();
+      obs::strand_end(ps);
+      obs::Profiler::instance().record_run(ps);
+    }
+    views_.collapse_into_leftmosts();
+    Tracer::instance().record(id_, TraceEvent::kRootDone, nullptr);
+    sched_->done_.store(true, std::memory_order_release);
+    stats_[StatCounter::kWakes] += sched_->parking_.wake_all();
+    return;
+  }
+  current_pedigree() = {frame->ped_parent, frame->ped_rank + 1};
+  if (prof) {
+    obs::ProfileState& ps = obs::current_profile();
+    ps = {};
+    ps.burden = launch_burden_ns_;
+    obs::strand_begin(ps);
+  }
+  try {
+    frame->invoke_b(frame);
+  } catch (...) {
+    frame->eptr = std::current_exception();
+  }
+  serial_mode_ = false;
+  if (prof) {
+    obs::ProfileState& ps = obs::current_profile();
+    obs::strand_end(ps);
+    frame->prof_work = ps.work;
+    frame->prof_span = ps.span;
+    frame->prof_burden = ps.burden;
+  }
+  if (frame->arrivals.load(std::memory_order_acquire) == 1) {
+    // Victim already parked: merge its views left of ours and perform the
+    // joining steal (merge_left suppresses faults and takes the merge-delay
+    // consult internally).
+    if (prof) {
+      const std::uint64_t t0 = now_ns();
+      merge_left(&frame->left_views);
+      frame->prof_burden += now_ns() - t0;
+    } else {
+      merge_left(&frame->left_views);
+    }
+    ++stats_[StatCounter::kJoiningSteals];
+    Tracer::instance().record(id_, TraceEvent::kResumeByThief, frame);
+    current_fiber_ = frame->parked_fiber;
+    tsan::switch_to(frame->parked_fiber->tsan_fiber);
+    cilkm_ctx_switch(&sched_ctx_, &frame->parked);
+    return;
+  }
+  Tracer::instance().record(id_, TraceEvent::kDepositRight, frame);
+  {
+    chaos::SuppressFaults suppress;
+    chaos::maybe_delay(chaos::Site::kDepositDelay);
+    if (prof) {
+      const std::uint64_t t0 = now_ns();
+      views_.deposit_ambient(&frame->right_views);
+      frame->prof_burden += now_ns() - t0;
+    } else {
+      views_.deposit_ambient(&frame->right_views);
+    }
+  }
+  if (frame->arrivals.fetch_add(1, std::memory_order_acq_rel) == 1) {
+    {
+      chaos::SuppressFaults suppress;
+      chaos::maybe_delay(chaos::Site::kInstallDelay);
+      if (prof) {
+        const std::uint64_t t0 = now_ns();
+        views_.install_deposit(&frame->left_views);
+        merge_right(&frame->right_views);
+        frame->prof_burden += now_ns() - t0;
+      } else {
+        views_.install_deposit(&frame->left_views);
+        merge_right(&frame->right_views);
+      }
+    }
+    ++stats_[StatCounter::kJoiningSteals];
+    Tracer::instance().record(id_, TraceEvent::kResumeByThief, frame);
+    current_fiber_ = frame->parked_fiber;
+    tsan::switch_to(frame->parked_fiber->tsan_fiber);
+    cilkm_ctx_switch(&sched_ctx_, &frame->parked);
+    return;
+  }
+  // First arriver: the victim resumes the continuation; back to the loop.
 }
 
 void Worker::join_slow(SpawnFrame* frame) {
@@ -224,15 +379,19 @@ void Worker::join_slow(SpawnFrame* frame) {
   // frame, suspend this fiber, and let the scheduler announce our arrival
   // once the context is fully saved.
   Tracer::instance().record(w->id(), TraceEvent::kDepositLeft, frame);
-  if (prof) {
-    // View-transferal burden on the victim path, written before the park;
-    // the arrival announcement (scheduler loop, release fetch_add) orders
-    // it before a thief-side resume reads it.
-    const std::uint64_t t0 = now_ns();
-    w->views().deposit_ambient(&frame->left_views);
-    frame->prof_burden_left += now_ns() - t0;
-  } else {
-    w->views().deposit_ambient(&frame->left_views);
+  {
+    chaos::SuppressFaults suppress;
+    chaos::maybe_delay(chaos::Site::kDepositDelay);
+    if (prof) {
+      // View-transferal burden on the victim path, written before the park;
+      // the arrival announcement (scheduler loop, release fetch_add) orders
+      // it before a thief-side resume reads it.
+      const std::uint64_t t0 = now_ns();
+      w->views().deposit_ambient(&frame->left_views);
+      frame->prof_burden_left += now_ns() - t0;
+    } else {
+      w->views().deposit_ambient(&frame->left_views);
+    }
   }
   Tracer::instance().record(w->id(), TraceEvent::kPark, frame);
   frame->parked_fiber = w->current_fiber_;
@@ -274,6 +433,13 @@ SpawnFrame* Worker::try_steal_round() {
       const std::uint64_t steal_lat = now_ns() - attempt_start;
       stats_.record_steal(tier, steal_lat);
       launch_burden_ns_ = steal_lat;  // burden seed if this frame launches
+      // Injected delay between claiming the frames and publishing /
+      // launching them — the window a preempted thief would leave the
+      // protocol in. Keyed on the promoted frame's pedigree snapshot (this
+      // thread's pedigree slot is scheduler-context here).
+      chaos::maybe_delay(chaos::Site::kStealDelay,
+                         PedigreeState{steal_buf_[0]->ped_parent,
+                                       steal_buf_[0]->ped_rank});
       if (got > 1) {
         // Steal-half tail: our deque is empty (we only steal when it is),
         // so a bulk push of the younger frames oldest-first preserves the
@@ -342,17 +508,22 @@ void Worker::scheduler_loop() {
         // The thief finished in the meantime: both deposits exist. Take our
         // own views back, merge the thief's on the right, and resume the
         // continuation ourselves.
-        if (obs::profiler_enabled()) {
-          // Reinstall + hypermerge burden on the victim path; the
-          // continuation resumes on this thread right below.
-          const std::uint64_t t0 = now_ns();
-          views_.install_deposit(&frame->left_views);
-          merge_right(&frame->right_views);
-          frame->prof_burden_left += now_ns() - t0;
-        } else {
-          views_.install_deposit(&frame->left_views);
-          merge_right(&frame->right_views);
+        {
+          chaos::SuppressFaults suppress;
+          chaos::maybe_delay(chaos::Site::kInstallDelay);
+          if (obs::profiler_enabled()) {
+            // Reinstall + hypermerge burden on the victim path; the
+            // continuation resumes on this thread right below.
+            const std::uint64_t t0 = now_ns();
+            views_.install_deposit(&frame->left_views);
+            merge_right(&frame->right_views);
+            frame->prof_burden_left += now_ns() - t0;
+          } else {
+            views_.install_deposit(&frame->left_views);
+            merge_right(&frame->right_views);
+          }
         }
+        progress_.fetch_add(1, std::memory_order_relaxed);
         Tracer::instance().record(id_, TraceEvent::kResumeSelf, frame);
         current_fiber_ = frame->parked_fiber;
         tsan::switch_to(frame->parked_fiber->tsan_fiber);
@@ -400,6 +571,40 @@ void Worker::scheduler_loop() {
       park_idle(idle_rounds - kSpinRounds - kYieldRounds);
     }
   }
+}
+
+namespace {
+
+/// assert_fail context: which worker died, executing which strand. Uses
+/// only async-signal-tolerant pieces (fprintf, a bounded stack array) since
+/// the process is already aborting.
+void print_assert_context(std::FILE* out) {
+  Worker* w = Worker::current();
+  if (w == nullptr) {
+    std::fprintf(out, "  on an external thread (no worker)\n");
+    return;
+  }
+  std::fprintf(out, "  on worker %u", w->id());
+  constexpr unsigned kMaxDepth = 128;
+  std::uint64_t ranks[kMaxDepth];
+  unsigned depth = 0;
+  const PedigreeState& ped = current_pedigree();
+  const PedigreeNode* n = ped.parent;
+  for (; n != nullptr && depth < kMaxDepth; n = n->parent) {
+    ranks[depth++] = n->rank;
+  }
+  std::fprintf(out, ", pedigree (root->leaf):");
+  if (n != nullptr) std::fprintf(out, " ...");  // deeper than the buffer
+  for (unsigned i = depth; i-- > 0;) {
+    std::fprintf(out, " %llu", static_cast<unsigned long long>(ranks[i]));
+  }
+  std::fprintf(out, " %llu\n", static_cast<unsigned long long>(ped.rank));
+}
+
+}  // namespace
+
+void install_assert_context() noexcept {
+  ::cilkm::detail::assert_context_fn = &print_assert_context;
 }
 
 }  // namespace cilkm::rt

@@ -5,6 +5,7 @@
 // or merge — the join protocol of paper Sections 3 and 7.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,20 @@ class alignas(1024) Worker {
   WorkerStats& stats() noexcept { return stats_; }
   Deque& deque() noexcept { return deque_; }
 
+  /// True while this worker runs a degraded (fiber-less) frame on its
+  /// scheduler stack: fork2join then executes children serially in place —
+  /// nothing is pushed, so the frame cannot park and the OS-thread stack
+  /// unwinds synchronously (see run_degraded).
+  bool serial_spawns() const noexcept { return serial_mode_; }
+
+  /// Monotonic scheduling-progress tick (launches, degraded runs, join
+  /// resumptions), read across threads by the run watchdog: a window in
+  /// which no worker's tick advances and the run has not quiesced is a
+  /// stalled epoch.
+  std::uint64_t progress() const noexcept {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
   /// Main loop for one run: bootstraps the root (worker 0), then promotes
   /// own-deque frames and steals until the run's done flag rises, parking on
   /// the scheduler's idle gate (after a spin→yield backoff) while no work
@@ -65,6 +80,14 @@ class alignas(1024) Worker {
   friend void fiber_main(void* arg);
 
   void launch(SpawnFrame* frame_or_null_root);
+
+  /// Graceful-degradation path when no fiber stack could be acquired (real
+  /// mmap exhaustion after StackPool's backoff, or an injected chaos
+  /// fault): run the frame (or root) to completion on the scheduler's own
+  /// OS-thread stack with serial_spawns() forcing nested fork2joins serial,
+  /// then perform this frame's join protocol exactly as fiber_main would.
+  void run_degraded(SpawnFrame* frame_or_null_root);
+
   void drain_pending();
 
   /// One steal round: a deduplicated tour over the other workers — in
@@ -98,6 +121,10 @@ class alignas(1024) Worker {
   LocalFiberCache fiber_cache_;  // lock-free front of the node-sharded pool
   SpawnFrame* pending_park_ = nullptr;
   SpawnFrame* launch_frame_ = nullptr;
+  bool serial_mode_ = false;  // degraded frame in flight (see serial_spawns)
+
+  /// Written (relaxed) only by this worker, read by the watchdog thread.
+  std::atomic<std::uint64_t> progress_{0};
 
   /// Burden seed for the next launch (profiling only): the steal latency
   /// that delivered the frame about to be launched, or 0 for a self-pop.
@@ -126,6 +153,11 @@ class alignas(1024) Worker {
 static_assert(alignof(Worker) == 1024,
               "Worker must be 1024-byte aligned against prefetcher-induced "
               "false sharing (cf. the __cilkrts_worker exemplar)");
+
+/// Install the worker-aware assert_fail context hook (worker id + the
+/// failing strand's pedigree). Idempotent; Scheduler's constructor calls it
+/// so every runtime-linked binary gets diagnosable aborts.
+void install_assert_context() noexcept;
 
 /// TLS pointer to the calling thread's worker.
 extern thread_local Worker* tls_worker;

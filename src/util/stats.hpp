@@ -32,6 +32,10 @@ enum class StatCounter : unsigned {
   kWakes,            ///< wake-ups this worker's pushes/completions delivered
   kBatchWakes,       ///< extra sleepers (beyond the first) woken per push batch
   kFibersAllocated,  ///< fiber stacks allocated (cactus-stack pressure)
+  kSerialDegrades,   ///< spawns executed serially in place (deque full or
+                     ///< injected push fault) instead of being pushed
+  kFiberFallbacks,   ///< launches degraded to the scheduler's own stack
+                     ///< because no fiber stack could be acquired
   kCount
 };
 
@@ -55,6 +59,8 @@ constexpr std::string_view to_string(StatCounter c) noexcept {
     case StatCounter::kWakes: return "wakes";
     case StatCounter::kBatchWakes: return "batch_wakes";
     case StatCounter::kFibersAllocated: return "fibers_allocated";
+    case StatCounter::kSerialDegrades: return "serial_degrades";
+    case StatCounter::kFiberFallbacks: return "fiber_fallbacks";
     case StatCounter::kCount: break;
   }
   return "?";

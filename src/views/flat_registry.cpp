@@ -1,6 +1,6 @@
 #include "views/flat_registry.hpp"
 
-#include "util/assert.hpp"
+#include <new>
 
 namespace cilkm::views {
 
@@ -11,14 +11,17 @@ FlatIdAllocator& FlatIdAllocator::instance() {
 
 std::uint32_t FlatIdAllocator::allocate() {
   std::lock_guard lock(mutex_);
-  ++live_;
   if (!free_.empty()) {
     const std::uint32_t id = free_.back();
     free_.pop_back();
+    ++live_;
     return id;
   }
-  CILKM_CHECK(next_ < kMaxFlatIds,
-              "flat reducer ids exhausted (too many live flat_policy reducers)");
+  // Exhaustion is a resource-limit condition, not a bug: throw (leaving
+  // live_ untouched and the free list intact) so the caller can unwind,
+  // free reducers, and try again — instead of aborting the process.
+  if (next_ >= kMaxFlatIds) throw std::bad_alloc{};
+  ++live_;
   return next_++;
 }
 

@@ -16,8 +16,9 @@ namespace cilkm::views {
 /// Hard ceiling on concurrently live flat reducer ids. Every worker's flat
 /// store is an array indexed by id, so an unbounded id space would let one
 /// leaked allocation loop grow every store without bound; past this cap
-/// allocate() fails a release-enforced CILKM_CHECK (the flat analogue of
-/// the SPA allocator's "TLMM region exhausted").
+/// allocate() throws std::bad_alloc (the flat analogue of the SPA
+/// allocator's "TLMM region exhausted") — the process survives and the
+/// allocator stays usable once ids are freed.
 inline constexpr std::uint32_t kMaxFlatIds = 1u << 20;
 
 class FlatIdAllocator {
@@ -25,7 +26,8 @@ class FlatIdAllocator {
   static FlatIdAllocator& instance();
 
   /// Allocate a dense reducer id, valid in every worker's flat store.
-  /// Checks (release-enforced) that the id space is not exhausted.
+  /// Throws std::bad_alloc when the id space is exhausted (kMaxFlatIds live
+  /// ids); the allocator remains consistent and usable after the throw.
   std::uint32_t allocate();
 
   /// Return an id. The id's slot must already be empty in every store.

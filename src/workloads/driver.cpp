@@ -7,10 +7,12 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <new>
 #include <optional>
 #include <thread>
 
 #include "bench/harness.hpp"
+#include "chaos/chaos.hpp"
 #include "mem/internal_alloc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -19,6 +21,7 @@
 #include "runtime/trace.hpp"
 #include "topo/placement.hpp"
 #include "topo/topology.hpp"
+#include "util/rng.hpp"
 #include "workloads/fuzzer.hpp"
 
 namespace cilkm::workloads {
@@ -33,6 +36,8 @@ constexpr const char* kUsage =
     "                 [--steal-batch half|N]\n"
     "                 [--profile] [--trace-out FILE] [--trace-csv FILE]\n"
     "                 [--fuzz] [--fuzz-seed X] [--fuzz-iters N]\n"
+    "                 [--chaos P] [--chaos-seed X] [--chaos-sites LIST]\n"
+    "                 [--watchdog-ms N]\n"
     "\n"
     "Runs registered workload cells (workload x policy x workers); every cell\n"
     "verifies itself against a serial reference. Exits nonzero if any cell\n"
@@ -51,6 +56,16 @@ constexpr const char* kUsage =
     "exact --fuzz-seed that replays it alone. --policy/--workers/--scale\n"
     "restrict the composite space.\n"
     "\n"
+    "--chaos P arms deterministic fault injection (src/chaos/): each fail\n"
+    "point consults a pedigree-keyed DPRNG at probability P, so the same\n"
+    "--chaos-seed (default: derived from --seed / --fuzz-seed) injects the\n"
+    "same faults at the same strands across worker counts, policies, and\n"
+    "steal schedules. --chaos-sites restricts injection to a comma list of\n"
+    "alloc,fiber,push,steal,install,merge,deposit (groups: faults, delays,\n"
+    "all). Reps aborted by an injected allocator OOM are annotated, not\n"
+    "failed. --watchdog-ms N makes a run with no scheduling progress for N\n"
+    "ms dump its metrics/trace state and abort instead of hanging.\n"
+    "\n"
     "Topology: --pin binds each worker to its assigned CPU, --placement picks\n"
     "the worker->CPU map, --wake-batch caps sleepers woken per push (1..16),\n"
     "--steal selects proximity-ordered or uniform victim selection, and\n"
@@ -58,6 +73,14 @@ constexpr const char* kUsage =
     "the default; 1 = classic single-frame stealing; N in 1..64).\n";
 
 using bench::parse_long_strict;
+
+bool parse_double_strict(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
 
 bool parse_u64_strict(const char* text, std::uint64_t* out) {
   // strtoull silently wraps negative input ("-1" → 2^64-1); reject it.
@@ -217,6 +240,43 @@ bool parse_driver_options(int argc, char** argv, DriverOptions* out) {
         return false;
       }
       out->fuzz_iters = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      if (!need_value(i)) return false;
+      double p = 0.0;
+      if (!parse_double_strict(argv[++i], &p) || p <= 0.0 || p > 1.0) {
+        std::fprintf(stderr, "bad --chaos '%s' (want a probability in (0,1])\n%s",
+                     argv[i], kUsage);
+        return false;
+      }
+      out->chaos = true;
+      out->chaos_p = p;
+    } else if (std::strcmp(arg, "--chaos-seed") == 0) {
+      if (!need_value(i)) return false;
+      if (!parse_u64_strict(argv[++i], &out->chaos_seed)) {
+        std::fprintf(stderr, "bad --chaos-seed '%s' (want an integer)\n%s",
+                     argv[i], kUsage);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--chaos-sites") == 0) {
+      if (!need_value(i)) return false;
+      if (!chaos::parse_sites(argv[++i], &out->chaos_sites)) {
+        std::fprintf(stderr,
+                     "bad --chaos-sites '%s' (want a comma list of "
+                     "alloc,fiber,push,steal,install,merge,deposit or "
+                     "faults/delays/all)\n%s",
+                     argv[i], kUsage);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--watchdog-ms") == 0) {
+      if (!need_value(i)) return false;
+      long v = 0;
+      if (!parse_long_strict(argv[++i], &v) || v < 1) {
+        std::fprintf(stderr,
+                     "bad --watchdog-ms '%s' (want an integer >= 1)\n%s",
+                     argv[i], kUsage);
+        return false;
+      }
+      out->sched.watchdog_ms = static_cast<unsigned>(v);
     } else if (std::strcmp(arg, "--steal") == 0) {
       if (!need_value(i)) return false;
       const std::string mode = argv[++i];
@@ -253,6 +313,12 @@ int run_matrix(const DriverOptions& opts) {
     fuzz.scale = opts.scale;
     fuzz.policies = opts.policies;
     fuzz.workers = opts.workers;
+    fuzz.chaos = opts.chaos;
+    if (opts.chaos) {
+      fuzz.chaos_p = opts.chaos_p;
+      fuzz.chaos_seed = opts.chaos_seed;
+      fuzz.chaos_sites = opts.chaos_sites;
+    }
     return run_fuzz(fuzz);
   }
   if (opts.list_only) {
@@ -317,6 +383,23 @@ int run_matrix(const DriverOptions& opts) {
     if (pool == nullptr) pool = std::make_unique<rt::Scheduler>(p, opts.sched);
   }
 
+  // Fault injection covers the whole matrix with one armed configuration:
+  // the pedigree-keyed decisions make the injected fault set a function of
+  // (chaos seed, workload), not of which cell or rep is running.
+  if (opts.chaos) {
+    chaos::Config ccfg;
+    ccfg.p = opts.chaos_p;
+    ccfg.seed = opts.chaos_seed;
+    if (ccfg.seed == 0) {
+      std::uint64_t s = opts.seed;  // deterministic default: --seed decides
+      ccfg.seed = splitmix64(s);
+    }
+    if (opts.chaos_sites != 0) ccfg.sites = opts.chaos_sites;
+    chaos::arm(ccfg);
+    std::printf("# chaos: armed p=%g seed=0x%llx sites=0x%x\n", ccfg.p,
+                static_cast<unsigned long long>(ccfg.seed), ccfg.sites);
+  }
+
   // Observability toggles for the whole sweep. Tracing is per cell (rings
   // reset before each cell), so the exported artifact covers the LAST cell
   // — run a single-cell matrix when the timeline itself is the point.
@@ -350,11 +433,28 @@ int run_matrix(const DriverOptions& opts) {
         pools[p]->reset_stats();
         if (tracing) tracer.reset();
         if (opts.profile) profiler.reset();
+        int oom_reps = 0;
         for (int rep = 0; rep < opts.reps; ++rep) {
-          RunResult result = w->run_policy(policy, cfg);
+          RunResult result;
+          try {
+            result = w->run_policy(policy, cfg);
+          } catch (const std::bad_alloc&) {
+            // Injected allocator OOM (chaos kAllocRefill): the run aborted
+            // cleanly and the pool is reusable. The rep produced no sample
+            // or verdict — annotate rather than fail the cell.
+            if (!opts.chaos) throw;
+            ++oom_reps;
+            continue;
+          }
           samples.push_back(result.seconds);
           if (verified) shown = std::move(result);
           verified = verified && shown.verified;
+        }
+        if (samples.empty()) samples.push_back(0.0);
+        if (oom_reps > 0) {
+          if (!shown.detail.empty()) shown.detail += "; ";
+          shown.detail += std::to_string(oom_reps) +
+                          " rep(s) chaos-oom (injected allocator failure)";
         }
         last_cell = obs::capture(pools[p].get());
         const WorkerStats& cell_stats = last_cell.aggregate;
@@ -410,6 +510,32 @@ int run_matrix(const DriverOptions& opts) {
       }
     }
   }
+  if (opts.chaos) {
+    // Per-site injection totals for the sweep. The digest is the
+    // order-independent fingerprint of the injected fault set (split into
+    // 32-bit halves on the JSON row — metric values are doubles).
+    for (unsigned s = 0; s < chaos::kNumSites; ++s) {
+      const auto site = static_cast<chaos::Site>(s);
+      const chaos::SiteStats st = chaos::site_stats(site);
+      if (st.consults != 0) {
+        std::printf("# chaos: %-8s consults=%llu injected=%llu digest=0x%llx\n",
+                    chaos::to_string(site),
+                    static_cast<unsigned long long>(st.consults),
+                    static_cast<unsigned long long>(st.injected),
+                    static_cast<unsigned long long>(st.digest));
+      }
+      if (report.has_value()) {
+        report->add(std::string("chaos:") + chaos::to_string(site), 0.0,
+                    {{"consults", static_cast<double>(st.consults)},
+                     {"injected", static_cast<double>(st.injected)},
+                     {"digest_hi", static_cast<double>(st.digest >> 32)},
+                     {"digest_lo",
+                      static_cast<double>(st.digest & 0xffffffffULL)}});
+      }
+    }
+    chaos::disarm();
+  }
+
   if (report.has_value()) {
     // Internal-allocator footprint of the sweep, one row per tag: peaks say
     // how much memory each layer (views, SPA pages, hypermap tables, fiber

@@ -31,6 +31,17 @@ struct DriverOptions {
   bool fuzz = false;
   std::uint64_t fuzz_seed = RunConfig{}.seed;
   int fuzz_iters = 25;
+  /// --chaos P: arm deterministic fault injection (src/chaos/) at per-consult
+  /// probability P for the whole matrix (or fuzz sweep). --chaos-seed keys
+  /// the pedigree DPRNG (0 = derive from --seed / --fuzz-seed); --chaos-sites
+  /// restricts the site mask ("alloc,fiber,push,…" or "faults"/"delays"/
+  /// "all"). Reps aborted by an injected allocator OOM are annotated, not
+  /// counted as verification failures. --watchdog-ms N arms the scheduler's
+  /// stalled-run watchdog (SchedulerOptions::watchdog_ms).
+  bool chaos = false;
+  double chaos_p = 0.02;
+  std::uint64_t chaos_seed = 0;
+  std::uint32_t chaos_sites = 0;
   /// Topology knobs for the persistent pools run_matrix builds: --pin,
   /// --placement, --wake-batch, --steal.
   rt::SchedulerOptions sched;

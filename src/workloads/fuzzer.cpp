@@ -12,17 +12,20 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <new>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "reducers/reducers.hpp"
 #include "runtime/api.hpp"
 #include "runtime/pedigree.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/dprng.hpp"
+#include "util/rng.hpp"
 
 namespace cilkm::workloads {
 namespace {
@@ -236,11 +239,26 @@ bool run_composite(const Scenario& sc, rt::Scheduler* pool,
 
   reducer<M, Policy> red;
   Dprng rng(sc.seed);
-  pool->run([&] {
-    run_shape(sc, rng, [&] {
-      for (int d = 0; d < sc.draws; ++d) apply_draw<M>(red.view(), rng.next());
+  bool chaos_oom = false;
+  try {
+    pool->run([&] {
+      run_shape(sc, rng, [&] {
+        for (int d = 0; d < sc.draws; ++d)
+          apply_draw<M>(red.view(), rng.next());
+      });
     });
-  });
+  } catch (const std::bad_alloc&) {
+    // An armed kAllocRefill site injected an OOM; the run aborted cleanly
+    // through the SpawnFrame::eptr join protocol and the pool is reusable
+    // (the next composite proves it). The partial reduction can't be
+    // verified, so the composite passes on the degradation property alone.
+    if (!chaos::enabled()) throw;
+    chaos_oom = true;
+  }
+  if (chaos_oom) {
+    *detail = "chaos-oom (injected allocator failure; verify skipped)";
+    return true;
+  }
 
   const T& got = red.get_value();
   if (got == expect) {
@@ -297,6 +315,21 @@ int run_fuzz(const FuzzOptions& opts) {
 
   std::printf("fuzz sweep: base seed %s, %d composite(s), scale %u\n",
               hex(opts.seed).c_str(), opts.iters, std::max(1u, opts.scale));
+  if (opts.chaos) {
+    chaos::Config ccfg;
+    ccfg.p = opts.chaos_p;
+    ccfg.seed = opts.chaos_seed;
+    if (ccfg.seed == 0) {
+      // Derive deterministically from the sweep's base seed, so plain
+      // `--fuzz --chaos P` replays bit-for-bit without a second flag.
+      std::uint64_t s = opts.seed;
+      ccfg.seed = splitmix64(s);
+    }
+    if (opts.chaos_sites != 0) ccfg.sites = opts.chaos_sites;
+    chaos::arm(ccfg);
+    std::printf("  chaos: armed p=%g seed=%s sites=0x%x\n", ccfg.p,
+                hex(ccfg.seed).c_str(), ccfg.sites);
+  }
   std::FILE* artifact = nullptr;
   int failures = 0;
   for (int i = 0; i < opts.iters; ++i) {
@@ -334,6 +367,20 @@ int run_fuzz(const FuzzOptions& opts) {
     }
   }
   if (artifact != nullptr) std::fclose(artifact);
+
+  if (opts.chaos) {
+    for (unsigned s = 0; s < chaos::kNumSites; ++s) {
+      const auto site = static_cast<chaos::Site>(s);
+      const chaos::SiteStats st = chaos::site_stats(site);
+      if (st.consults == 0) continue;
+      std::printf("  chaos: %-8s consults=%llu injected=%llu digest=%s\n",
+                  chaos::to_string(site),
+                  static_cast<unsigned long long>(st.consults),
+                  static_cast<unsigned long long>(st.injected),
+                  hex(st.digest).c_str());
+    }
+    chaos::disarm();
+  }
 
   if (failures != 0) {
     std::fprintf(stderr,

@@ -27,6 +27,15 @@ struct FuzzOptions {
   std::vector<PolicyKind> policies;
   /// Worker counts the composite draw may select from (empty = {1, 2, 4}).
   std::vector<unsigned> workers;
+  /// Arm deterministic fault injection (src/chaos/) for the whole sweep.
+  /// Composites still verify against their serial elisions — chaos consults
+  /// use the pure pedigree hash, so injected faults never perturb workload
+  /// draw streams; a composite aborted by an injected allocator OOM is
+  /// reported "ok" with a chaos-oom detail (its verify is skipped).
+  bool chaos = false;
+  double chaos_p = 0.02;         ///< per-consult injection probability
+  std::uint64_t chaos_seed = 0;  ///< 0 = derive deterministically from seed
+  std::uint32_t chaos_sites = 0; ///< chaos::site_bit mask; 0 = all sites
 };
 
 /// Name of the artifact written (in the working directory) when at least
